@@ -1,0 +1,72 @@
+"""Ablation: hash-table sizing under selectivity-estimate error (§5.2).
+
+"If the dividend or the divisor are results of other database
+operations ... the possible error in the selectivity estimate makes it
+imperative to choose the division algorithm very carefully."  Estimate
+error hurts hash algorithms through table sizing: a quotient table
+sized for far fewer candidates than arrive degenerates into long
+chains.  This bench runs hash-division with the quotient estimate off
+by factors of 1/64x..4x and reports probe comparisons and the realized
+average chain length.
+"""
+
+from conftest import once
+
+from repro.costmodel.units import PAPER_UNITS
+from repro.core.hash_division import HashDivision
+from repro.executor.iterator import ExecContext
+from repro.executor.scan import RelationSource
+from repro.experiments.report import render_table
+from repro.workloads.synthetic import make_exact_division
+
+ERROR_FACTORS = (1 / 64, 1 / 16, 1 / 4, 1, 4)
+ACTUAL_QUOTIENT = 2000
+
+
+def bench_estimation_error(benchmark, write_result):
+    dividend, divisor = make_exact_division(20, ACTUAL_QUOTIENT, seed=16)
+
+    def run_sweep():
+        outcomes = []
+        for factor in ERROR_FACTORS:
+            estimate = max(1, int(ACTUAL_QUOTIENT * factor))
+            ctx = ExecContext()
+            plan = HashDivision(
+                RelationSource(ctx, dividend),
+                RelationSource(ctx, divisor),
+                expected_divisor=20,
+                expected_quotient=estimate,
+            )
+            plan.open()
+            table = plan._quotient_table
+            assert table is not None
+            chain = table.average_chain_length
+            quotient = list(plan)
+            plan.close()
+            assert len(quotient) == ACTUAL_QUOTIENT
+            outcomes.append(
+                (factor, estimate, chain, PAPER_UNITS.cpu_cost_ms(ctx.cpu))
+            )
+        return outcomes
+
+    outcomes = once(benchmark, run_sweep)
+
+    accurate = next(o for o in outcomes if o[0] == 1)
+    worst = outcomes[0]
+    # A 64x underestimate inflates chains and probe cost measurably.
+    assert worst[2] > 8 * accurate[2]
+    assert worst[3] > 1.5 * accurate[3]
+    # Overestimating is near-free (just a larger bucket array).
+    over = outcomes[-1]
+    assert over[3] < 1.05 * accurate[3]
+
+    write_result(
+        "ablation_estimation_error",
+        render_table(
+            ("estimate / actual", "estimated |Q|", "avg chain length",
+             "cpu model ms"),
+            outcomes,
+            title="Hash-division under quotient-cardinality estimate error "
+            f"(actual |Q| = {ACTUAL_QUOTIENT}, |S| = 20).",
+        ),
+    )

@@ -1,0 +1,64 @@
+"""Ablation: central vs decentralized collection phase (§6).
+
+"In the unlikely case that the central collection site becomes a
+bottleneck, it is possible to decentralize the collection step using
+quotient partitioning."  This bench constructs exactly that case -- a
+large quotient surviving every phase, so the collection input is big --
+and measures both modes.
+"""
+
+from conftest import once
+
+from repro.experiments.report import render_table
+from repro.parallel import parallel_hash_division
+from repro.workloads.synthetic import make_exact_division
+
+PROCESSORS = (2, 4, 8, 16)
+
+
+def bench_collection_modes(benchmark, write_result):
+    dividend, divisor = make_exact_division(16, 1200, seed=15)
+
+    def run_matrix():
+        outcomes = {}
+        for processors in PROCESSORS:
+            for mode in ("central", "decentralized"):
+                result = parallel_hash_division(
+                    dividend, divisor, processors,
+                    strategy="divisor", collection=mode,
+                )
+                assert len(result.quotient) == 1200
+                outcomes[(processors, mode)] = result
+        return outcomes
+
+    outcomes = once(benchmark, run_matrix)
+
+    # Decentralization removes the coordinator and wins at scale.
+    for processors in PROCESSORS:
+        central = outcomes[(processors, "central")]
+        decentralized = outcomes[(processors, "decentralized")]
+        assert central.coordinator_ms > 0
+        assert decentralized.coordinator_ms == 0.0
+        if processors >= 8:
+            assert decentralized.elapsed_ms < central.elapsed_ms
+
+    write_result(
+        "parallel_collection",
+        render_table(
+            ("processors", "mode", "elapsed ms", "collection-site ms",
+             "busiest inbound ms"),
+            [
+                (
+                    processors,
+                    mode,
+                    outcomes[(processors, mode)].elapsed_ms,
+                    outcomes[(processors, mode)].coordinator_ms,
+                    outcomes[(processors, mode)].network.busiest_receiver_ms(),
+                )
+                for processors in PROCESSORS
+                for mode in ("central", "decentralized")
+            ],
+            title="Collection phase: central site vs decentralized "
+            "(|S|=16, |Q|=1200 -- every candidate survives every phase).",
+        ),
+    )

@@ -1,0 +1,73 @@
+"""Multiprocessor scale-out (§6): both strategies, 1..16 processors.
+
+Quantifies the paper's qualitative claims: quotient partitioning scales
+nearly linearly once the divisor is replicated; divisor partitioning
+also scales but funnels its quotient clusters through a collection
+site, whose inbound traffic grows with the processor count.
+"""
+
+from conftest import once
+
+from repro.experiments.report import render_table
+from repro.parallel import parallel_hash_division
+from repro.workloads.synthetic import make_exact_division
+
+PROCESSORS = (1, 2, 4, 8, 16)
+
+
+def bench_parallel_scaleout(benchmark, write_result):
+    dividend, divisor = make_exact_division(60, 300, seed=7)
+
+    def run_sweep():
+        outcomes = {}
+        for strategy in ("quotient", "divisor"):
+            for processors in PROCESSORS:
+                result = parallel_hash_division(
+                    dividend, divisor, processors, strategy=strategy
+                )
+                assert len(result.quotient) == 300
+                outcomes[(strategy, processors)] = result
+        return outcomes
+
+    outcomes = once(benchmark, run_sweep)
+
+    for strategy in ("quotient", "divisor"):
+        base = outcomes[(strategy, 1)].elapsed_ms
+        top = outcomes[(strategy, 16)].elapsed_ms
+        assert top < base, strategy                 # parallelism helps
+        assert base / top > 2.0, strategy           # and meaningfully so
+    # Quotient partitioning scales better at high processor counts:
+    # the divisor strategy funnels everything through its collection
+    # site (Section 6's "central collection site becomes a bottleneck").
+    quotient_speedup = (
+        outcomes[("quotient", 1)].elapsed_ms / outcomes[("quotient", 16)].elapsed_ms
+    )
+    divisor_speedup = (
+        outcomes[("divisor", 1)].elapsed_ms / outcomes[("divisor", 16)].elapsed_ms
+    )
+    assert quotient_speedup > 3.0
+    assert quotient_speedup > divisor_speedup
+
+    rows = []
+    for (strategy, processors), result in outcomes.items():
+        base = outcomes[(strategy, 1)].elapsed_ms
+        rows.append(
+            (
+                strategy,
+                processors,
+                result.elapsed_ms,
+                base / result.elapsed_ms,
+                result.network.total_bytes,
+                result.coordinator_ms,
+            )
+        )
+    write_result(
+        "parallel_scaleout",
+        render_table(
+            ("strategy", "processors", "elapsed ms", "speedup",
+             "network bytes", "collection ms"),
+            rows,
+            title="Parallel hash-division scale-out "
+            "(|S|=60, |Q|=300, R = Q x S, round-robin declustered).",
+        ),
+    )

@@ -1,0 +1,18 @@
+"""Table 1: the analytical cost units.
+
+A constants table -- the benchmark verifies the units and exercises the
+CPU-weighting hot path that every other experiment depends on.
+"""
+
+from repro.costmodel.units import PAPER_UNITS
+from repro.experiments import table1
+from repro.metering import CpuCounters
+
+
+def bench_table1_cost_units(benchmark, write_result):
+    counters = CpuCounters(comparisons=10_000, hashes=5_000, moves=12.5, bit_ops=100_000)
+
+    result = benchmark(PAPER_UNITS.cpu_cost_ms, counters)
+
+    assert result == 10_000 * 0.03 + 5_000 * 0.03 + 12.5 * 0.4 + 100_000 * 0.003
+    write_result("table1_units", table1.render())

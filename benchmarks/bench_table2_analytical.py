@@ -1,0 +1,16 @@
+"""Table 2: the analytical cost of division.
+
+Recomputes all nine size points with the Section 4 formulas and checks
+they reproduce the printed table to rounding.
+"""
+
+from repro.experiments import table2
+
+
+def bench_table2_analytical_grid(benchmark, write_result):
+    rows = benchmark(table2.rows)
+
+    assert len(rows) == 9
+    worst = max(v for entry in rows for v in entry["deviation"].values())
+    assert worst < 2e-4, f"worst deviation vs paper: {worst:.2%}"
+    write_result("table2_analytical", table2.render())

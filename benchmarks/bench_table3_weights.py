@@ -1,0 +1,26 @@
+"""Table 3: the experimental I/O cost weights.
+
+Verifies the weights and benchmarks the statistics hot path (the
+per-transfer accounting every experimental run flows through).
+"""
+
+from repro.experiments import table3
+from repro.storage.stats import IoStatistics, IoWeights
+
+
+def bench_table3_io_accounting(benchmark, write_result):
+    weights = IoWeights()
+    assert (weights.seek_ms, weights.latency_ms_per_transfer,
+            weights.transfer_ms_per_kib, weights.cpu_ms_per_transfer) == (20, 8, 0.5, 2)
+
+    def record_and_cost():
+        stats = IoStatistics(weights)
+        for page in range(1_000):
+            stats.record_transfer("data", page, 8192, is_write=False)
+        return stats.cost_ms()
+
+    cost = benchmark(record_and_cost)
+
+    # 1 seek + 1000 * (8 + 2 + 4) ms.
+    assert cost == 20 + 1_000 * 14
+    write_result("table3_weights", table3.render())

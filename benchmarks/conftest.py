@@ -1,0 +1,34 @@
+"""Shared helpers for the benchmark suite.
+
+Each benchmark regenerates one of the paper's tables (or an ablation)
+and writes its rendered output to ``benchmarks/results/<name>.txt`` so
+EXPERIMENTS.md can reference concrete, reproducible artifacts.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture
+def write_result():
+    """Persist a rendered table under ``benchmarks/results`` and echo it."""
+
+    def write(name: str, text: str) -> None:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+        print()
+        print(text)
+
+    return write
+
+
+def once(benchmark, function):
+    """Run an expensive experiment exactly once under the benchmark
+    timer (the experiment's own model meters are the real measurement;
+    wall-clock is reported for reference)."""
+    return benchmark.pedantic(function, rounds=1, iterations=1)

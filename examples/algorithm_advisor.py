@@ -1,0 +1,83 @@
+"""Choosing the division algorithm like an optimizer would.
+
+Section 5.2 warns that "the possible error in the selectivity estimate
+makes it imperative to choose the division algorithm very carefully."
+This example drives the cost advisor across the situations the paper
+discusses -- clean inputs, a restricted divisor, duplicated inputs, an
+empty divisor -- and then validates each recommendation by actually
+running the recommended strategy against the measured alternatives.
+
+Run with:  python examples/algorithm_advisor.py
+"""
+
+from repro import divide_with_advisor
+from repro.costmodel import DivisionEstimates, rank_strategies
+from repro.experiments.report import render_table
+from repro.experiments.runner import STRATEGIES, run_strategy_on_relations
+from repro.workloads.synthetic import make_exact_division
+
+
+def show_ranking(title: str, estimates: DivisionEstimates) -> str:
+    ranked = rank_strategies(estimates)
+    print(
+        render_table(
+            ("rank", "strategy", "estimated ms", "note"),
+            [
+                (i + 1, entry.strategy, entry.estimated_ms, entry.note)
+                for i, entry in enumerate(ranked)
+            ],
+            title=title,
+        )
+    )
+    print()
+    return ranked[0].strategy
+
+
+def main() -> None:
+    # -- the paper's largest size point --------------------------------
+    estimates = DivisionEstimates(
+        dividend_tuples=160_000, divisor_tuples=400, quotient_tuples=400
+    )
+    pick_clean = show_ranking("Clean inputs (|R|=160k, |S|=|Q|=400):", estimates)
+
+    estimates = DivisionEstimates(
+        dividend_tuples=160_000, divisor_tuples=400, quotient_tuples=400,
+        divisor_restricted=True,
+    )
+    pick_restricted = show_ranking("Same sizes, restricted divisor:", estimates)
+
+    estimates = DivisionEstimates(
+        dividend_tuples=160_000, divisor_tuples=400, quotient_tuples=400,
+        may_contain_duplicates=True,
+    )
+    pick_duplicates = show_ranking("Same sizes, inputs may hold duplicates:",
+                                   estimates)
+
+    print(f"advisor picks: clean={pick_clean!r}, "
+          f"restricted={pick_restricted!r}, duplicates={pick_duplicates!r}\n")
+
+    # -- validate the clean-input pick against measurements --------------
+    dividend, divisor = make_exact_division(50, 100, seed=21)
+    measured = {
+        strategy: run_strategy_on_relations(
+            strategy, dividend, divisor, expected_quotient=100
+        ).total_ms
+        for strategy in STRATEGIES
+    }
+    winner = min(measured, key=measured.get)
+    print(render_table(
+        ("strategy", "measured ms"),
+        sorted(measured.items(), key=lambda kv: kv[1]),
+        title="Measured (|S|=50, |Q|=100, clean):",
+    ))
+    print(f"\nmeasured winner: {winner!r} -- advisor said {pick_clean!r}")
+    assert winner == pick_clean
+
+    # -- end-to-end convenience: divide_with_advisor ---------------------
+    quotient, strategy = divide_with_advisor(dividend, divisor)
+    print(f"divide_with_advisor ran {strategy!r} and returned "
+          f"{len(quotient)} quotient tuples")
+
+
+if __name__ == "__main__":
+    main()

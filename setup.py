@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+All project metadata lives in ``pyproject.toml``; this file exists so
+``pip install -e .`` works in offline environments whose setuptools
+lacks the ``wheel`` package required by the PEP 660 editable path.
+"""
+
+from setuptools import setup
+
+setup()

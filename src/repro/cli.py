@@ -1,0 +1,189 @@
+"""Command-line interface: regenerate the paper's artifacts from a shell.
+
+Examples::
+
+    python -m repro figure2
+    python -m repro table1
+    python -m repro table2
+    python -m repro table3
+    python -m repro table4 --sizes 25x25,100x100
+    python -m repro advisor --dividend 160000 --divisor 400 --restricted
+    python -m repro parallel --processors 8 --strategy divisor
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.costmodel.advisor import DivisionEstimates, rank_strategies
+from repro.experiments import table1, table2, table3, table4
+from repro.experiments.report import render_table
+
+
+def _cmd_figure2(_args: argparse.Namespace) -> None:
+    from repro import divide
+    from repro.workloads.university import figure2_courses, figure2_transcript
+
+    transcript = figure2_transcript()
+    courses = figure2_courses()
+    print("Transcript:", transcript.rows)
+    print("Courses:   ", courses.rows)
+    quotient = divide(transcript, courses)
+    print("Quotient (students who took all database courses):", quotient.rows)
+
+
+def _cmd_trace(_args: argparse.Namespace) -> None:
+    from repro.core.trace import trace_hash_division
+    from repro.workloads.university import figure2_courses, figure2_transcript
+
+    trace = trace_hash_division(figure2_transcript(), figure2_courses())
+    print("Hash-division of the Figure 2 example, step by step (\u00a73.2):\n")
+    print(trace.render())
+    print(f"\nquotient: {trace.quotient}")
+
+
+def _cmd_table1(_args: argparse.Namespace) -> None:
+    print(table1.render())
+
+
+def _cmd_table2(_args: argparse.Namespace) -> None:
+    print(table2.render())
+    print(f"\nworst deviation vs paper: {table2.max_deviation():.4%}")
+
+
+def _cmd_table3(_args: argparse.Namespace) -> None:
+    print(table3.render())
+
+
+def _parse_sizes(text: str) -> tuple[tuple[int, int], ...]:
+    sizes = []
+    for chunk in text.split(","):
+        s, sep, q = chunk.partition("x")
+        if not sep or not s.strip().isdigit() or not q.strip().isdigit():
+            raise SystemExit(
+                f"--sizes expects comma-separated |S|x|Q| points "
+                f"(e.g. 25x25,100x100), got {chunk!r}"
+            )
+        sizes.append((int(s), int(q)))
+    return tuple(sizes)
+
+
+def _cmd_table4(args: argparse.Namespace) -> None:
+    sizes = _parse_sizes(args.sizes) if args.sizes else table4.TABLE2_SIZES
+    rows = []
+    for s, q in sizes:
+        print(f"running |S|={s}, |Q|={q} ...", file=sys.stderr)
+        rows.append(table4.run_point(s, q))
+    print(table4.render(rows))
+
+
+def _cmd_advisor(args: argparse.Namespace) -> None:
+    estimates = DivisionEstimates(
+        dividend_tuples=args.dividend,
+        divisor_tuples=args.divisor,
+        quotient_tuples=args.quotient,
+        divisor_restricted=args.restricted,
+        may_contain_duplicates=args.duplicates,
+    )
+    ranked = rank_strategies(estimates)
+    print(
+        render_table(
+            ("rank", "strategy", "estimated ms", "note"),
+            [
+                (position + 1, entry.strategy, entry.estimated_ms, entry.note)
+                for position, entry in enumerate(ranked)
+            ],
+            title="Division strategies, cheapest first "
+            f"(|R|={args.dividend}, |S|={args.divisor}).",
+        )
+    )
+
+
+def _cmd_parallel(args: argparse.Namespace) -> None:
+    from repro.parallel import parallel_hash_division
+    from repro.workloads.synthetic import make_exact_division
+
+    dividend, divisor = make_exact_division(args.divisor, args.quotient, seed=0)
+    result = parallel_hash_division(
+        dividend,
+        divisor,
+        args.processors,
+        strategy=args.strategy,
+        bit_vector_bits=args.bitvector,
+    )
+    print(result)
+    print(f"  elapsed:      {result.elapsed_ms:,.1f} model ms")
+    print(f"  total work:   {result.total_work_ms:,.1f} model ms")
+    print(f"  network:      {result.network.total_bytes:,} bytes")
+    print(f"  shipped:      {result.dividend_tuples_shipped:,} dividend tuples")
+    print(f"  filtered:     {result.dividend_tuples_filtered:,} dividend tuples")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Relational division: four algorithms and their performance "
+        "(reproduction CLI).",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    commands.add_parser("figure2", help="run the worked example").set_defaults(
+        handler=_cmd_figure2
+    )
+    commands.add_parser(
+        "trace", help="narrate hash-division on the worked example"
+    ).set_defaults(handler=_cmd_trace)
+    commands.add_parser("table1", help="print the cost units").set_defaults(
+        handler=_cmd_table1
+    )
+    commands.add_parser(
+        "table2", help="recompute the analytical comparison"
+    ).set_defaults(handler=_cmd_table2)
+    commands.add_parser("table3", help="print the I/O weights").set_defaults(
+        handler=_cmd_table3
+    )
+
+    table4_parser = commands.add_parser(
+        "table4", help="run the experimental comparison"
+    )
+    table4_parser.add_argument(
+        "--sizes",
+        help="comma-separated |S|x|Q| points, e.g. 25x25,100x100 "
+        "(default: the paper's nine points)",
+    )
+    table4_parser.set_defaults(handler=_cmd_table4)
+
+    advisor_parser = commands.add_parser(
+        "advisor", help="rank strategies for given input estimates"
+    )
+    advisor_parser.add_argument("--dividend", type=int, required=True)
+    advisor_parser.add_argument("--divisor", type=int, required=True)
+    advisor_parser.add_argument("--quotient", type=int, default=0)
+    advisor_parser.add_argument("--restricted", action="store_true")
+    advisor_parser.add_argument("--duplicates", action="store_true")
+    advisor_parser.set_defaults(handler=_cmd_advisor)
+
+    parallel_parser = commands.add_parser(
+        "parallel", help="simulate shared-nothing hash-division"
+    )
+    parallel_parser.add_argument("--processors", type=int, default=8)
+    parallel_parser.add_argument(
+        "--strategy", choices=("quotient", "divisor"), default="quotient"
+    )
+    parallel_parser.add_argument("--divisor", type=int, default=100)
+    parallel_parser.add_argument("--quotient", type=int, default=400)
+    parallel_parser.add_argument("--bitvector", type=int, default=None)
+    parallel_parser.set_defaults(handler=_cmd_parallel)
+
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    args.handler(args)
+    return 0

@@ -1,0 +1,339 @@
+"""Hash-division -- the paper's new algorithm (Section 3, Figure 1).
+
+Two hash tables:
+
+* the **divisor table** maps each distinct divisor tuple to a unique
+  integer *divisor number* (step 1; duplicates in the divisor are
+  eliminated on the fly),
+* the **quotient table** maps each quotient candidate (the dividend
+  tuple projected on the quotient attributes) to a *bit map* with one
+  bit per divisor tuple (step 2; a dividend tuple that matches no
+  divisor tuple is discarded immediately, and dividend duplicates are
+  ignored automatically because they map to the same bit in the same
+  bit map),
+* the quotient is the set of candidates whose bit map contains no zero
+  (step 3).
+
+Variants from the paper's discussion (Section 3.3):
+
+* ``early_output=True`` -- the second observation: keep a counter per
+  candidate; when a fresh bit raises the counter to the divisor count,
+  emit the quotient tuple immediately, making the operator a streaming
+  producer for dataflow systems.
+* ``mode="counter"`` -- the sixth observation: "If duplicates are known
+  not to be a problem, hash-division could be modified to employ
+  counters instead of divisor numbers and bit maps."  Cheaper per
+  tuple, but dividend duplicates are double-counted (the tests
+  demonstrate exactly that failure).
+
+Division convention: an empty divisor yields every distinct quotient
+candidate (the universal quantifier over an empty set is vacuously
+true), matching the algebraic identity.  Figure 1 read literally would
+return nothing because no dividend tuple finds a divisor match; the
+implementation special-cases ``divisor count == 0`` to keep all
+algorithms and oracles in agreement.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import DivisionError, ExecutionError, HashTableOverflowError, MemoryPoolError
+from repro.core.bitmap import Bitmap
+from repro.executor.hash_table import ChainedHashTable
+from repro.executor.iterator import ExecContext, QueryIterator, run_to_relation
+from repro.executor.scan import RelationSource
+from repro.relalg.algebra import division_attribute_split
+from repro.relalg.relation import Relation
+from repro.relalg.tuples import Row, projector
+
+import itertools
+
+#: Per-instance tags for quotient-table bit maps, so two concurrently
+#: open operators on one context never free each other's maps.
+_bitmap_tags = itertools.count()
+
+_MODES = ("bitmap", "counter")
+
+
+class HashDivision(QueryIterator):
+    """The hash-division operator.
+
+    Args:
+        dividend: Input producing dividend tuples; its schema must
+            contain every divisor attribute plus at least one quotient
+            attribute.
+        divisor: Input producing divisor tuples.
+        early_output: Emit each quotient tuple as soon as its bit map
+            completes (streaming producer) instead of scanning the
+            quotient table after the dividend is exhausted.
+        mode: ``"bitmap"`` (duplicate-safe, the algorithm of Figure 1)
+            or ``"counter"`` (Section 3.3's cheaper variant that
+            assumes a duplicate-free dividend).
+        expected_divisor: Sizing hint for the divisor table's bucket
+            array (defaults to sizing after the divisor is consumed).
+        expected_quotient: Sizing hint for the quotient table.
+    """
+
+    def __init__(
+        self,
+        dividend: QueryIterator,
+        divisor: QueryIterator,
+        early_output: bool = False,
+        mode: str = "bitmap",
+        expected_divisor: int = 0,
+        expected_quotient: int = 0,
+    ) -> None:
+        if dividend.ctx is not divisor.ctx:
+            raise ExecutionError("division inputs must share one execution context")
+        if mode not in _MODES:
+            raise DivisionError(f"unknown hash-division mode {mode!r}; expected {_MODES}")
+        quotient_names, divisor_names = _split_names(dividend, divisor)
+        super().__init__(dividend.ctx, dividend.schema.project(quotient_names))
+        self.dividend = dividend
+        self.divisor = divisor
+        self.early_output = early_output
+        self.mode = mode
+        self.expected_divisor = expected_divisor
+        self.expected_quotient = expected_quotient
+        self.quotient_names = quotient_names
+        self.divisor_names = divisor_names
+        self._divisor_of = projector(dividend.schema, divisor_names)
+        self._quotient_of = projector(dividend.schema, quotient_names)
+        self._divisor_table: ChainedHashTable | None = None
+        self._quotient_table: ChainedHashTable | None = None
+        self._divisor_count = 0
+        self._output = None
+        self._bitmap_tag = f"quotient-bitmaps#{next(_bitmap_tags)}"
+
+    # -- protocol ----------------------------------------------------------
+
+    def _open(self) -> None:
+        try:
+            self._build_divisor_table()
+            self._make_quotient_table()
+            if self.early_output:
+                # Step 2 runs lazily inside next(); the dividend is
+                # opened here so the operator streams.
+                self.dividend.open()
+                self._output = None
+            else:
+                self.dividend.open()
+                try:
+                    consume = self._consume_tuple
+                    while True:
+                        row = self.dividend.next()
+                        if row is None:
+                            break
+                        consume(row)
+                finally:
+                    self.dividend.close()
+                self._free_divisor_table()
+                self._output = self._scan_quotient_table()
+        except HashTableOverflowError:
+            # Release everything so an overflow driver can retry with
+            # partitioning against the same memory pool.
+            self._release_tables()
+            raise
+
+    def _next(self) -> Optional[Row]:
+        if not self.early_output:
+            assert self._output is not None
+            return next(self._output, None)
+        consume = self._consume_tuple
+        while True:
+            row = self.dividend.next()
+            if row is None:
+                return None
+            emitted = consume(row)
+            if emitted is not None:
+                return emitted
+
+    def _close(self) -> None:
+        if self.early_output:
+            self.dividend.close()
+        self._release_tables()
+        self._output = None
+
+    def _release_tables(self) -> None:
+        self._free_divisor_table()
+        if self._quotient_table is not None:
+            self._quotient_table.free()
+            self.ctx.memory.free_all(tag=self._bitmap_tag)
+            self._quotient_table = None
+
+    def children(self) -> tuple[QueryIterator, ...]:
+        return (self.dividend, self.divisor)
+
+    def describe(self) -> str:
+        flags = [self.mode]
+        if self.early_output:
+            flags.append("early-output")
+        return f"HashDivision(÷{','.join(self.divisor_names)}; {' '.join(flags)})"
+
+    # -- step 1: divisor table ------------------------------------------------
+
+    def _build_divisor_table(self) -> None:
+        """Insert all divisor tuples, numbering them 0..n-1.
+
+        Duplicates in the divisor are "eliminated while building the
+        divisor table" (Section 3.3): a tuple already present is not
+        inserted and does not advance the divisor count.
+        """
+        self.divisor.open()
+        try:
+            rows = list(self.divisor)
+        finally:
+            self.divisor.close()
+        expected = self.expected_divisor or max(1, len(rows))
+        table = ChainedHashTable(
+            self.ctx.cpu,
+            self.ctx.memory,
+            bucket_count=ChainedHashTable.buckets_for(expected),
+            entry_bytes=self.divisor.schema.record_size + 8,
+            tag="divisor-table",
+        )
+        # Assign before filling so an overflow mid-build is released by
+        # the _open() cleanup path rather than leaked.
+        self._divisor_table = table
+        count = 0
+        for row in rows:
+            _, inserted = table.find_or_insert(tuple(row), lambda c=count: c)
+            if inserted:
+                count += 1
+        self._divisor_count = count
+
+    def _free_divisor_table(self) -> None:
+        if self._divisor_table is not None:
+            self._divisor_table.free()
+            self._divisor_table = None
+
+    # -- step 2: quotient table --------------------------------------------------
+
+    def _make_quotient_table(self) -> None:
+        expected = self.expected_quotient or 64
+        self._quotient_table = ChainedHashTable(
+            self.ctx.cpu,
+            self.ctx.memory,
+            bucket_count=ChainedHashTable.buckets_for(expected),
+            entry_bytes=self.schema.record_size + 8,
+            tag="quotient-table",
+        )
+
+    def _consume_tuple(self, row: Row) -> Optional[Row]:
+        """Process one dividend tuple; returns a quotient tuple when the
+        early-output variant completes one, else ``None``."""
+        assert self._divisor_table is not None and self._quotient_table is not None
+        if self._divisor_count == 0:
+            divisor_number = -1  # vacuous division: no bit to set
+        else:
+            divisor_number = self._divisor_table.find(self._divisor_of(row))
+            if divisor_number is None:
+                return None  # no matching divisor tuple: discard
+        quotient_key = self._quotient_of(row)
+        payload, inserted = self._quotient_table.find_or_insert(
+            quotient_key, lambda: self._new_candidate()
+        )
+        if self.mode == "counter":
+            return self._consume_counter(quotient_key, payload, divisor_number)
+        return self._consume_bitmap(quotient_key, payload, divisor_number)
+
+    def _new_candidate(self):
+        """Payload for a fresh quotient candidate.
+
+        Bitmap mode: ``[bitmap, emitted_flag]``.  Counter mode:
+        ``[count]``.  Bit maps are charged to the memory pool under
+        their own tag so overflow accounting sees them.
+        """
+        if self.mode == "counter":
+            return [0]
+        try:
+            self.ctx.memory.allocate(
+                Bitmap.bytes_for(self._divisor_count), tag=self._bitmap_tag
+            )
+        except MemoryPoolError as exc:
+            raise HashTableOverflowError(str(exc)) from exc
+        return [Bitmap(self._divisor_count, cpu=self.ctx.cpu), False]
+
+    def _consume_bitmap(
+        self, quotient_key: Row, payload: list, divisor_number: int
+    ) -> Optional[Row]:
+        bitmap: Bitmap = payload[0]
+        if divisor_number >= 0:
+            fresh = bitmap.set(divisor_number)
+        else:
+            fresh = False
+        if not self.early_output:
+            return None
+        if payload[1]:
+            return None  # already produced
+        if (fresh or divisor_number < 0) and bitmap.set_count == self._divisor_count:
+            payload[1] = True
+            return quotient_key
+        return None
+
+    def _consume_counter(
+        self, quotient_key: Row, payload: list, divisor_number: int
+    ) -> Optional[Row]:
+        if divisor_number >= 0:
+            payload[0] += 1
+        if not self.early_output:
+            return None
+        if payload[0] == self._divisor_count and (
+            self._divisor_count > 0 or len(payload) == 1
+        ):
+            payload.append("emitted")
+            return quotient_key
+        return None
+
+    # -- step 3: scan the quotient table --------------------------------------------
+
+    def _scan_quotient_table(self):
+        assert self._quotient_table is not None
+        if self.mode == "counter":
+            target = self._divisor_count
+            return (
+                key
+                for key, payload in self._quotient_table.items()
+                if payload[0] == target
+            )
+        return (
+            key
+            for key, payload in self._quotient_table.items()
+            if payload[0].all_set()
+        )
+
+
+def _split_names(
+    dividend: QueryIterator, divisor: QueryIterator
+) -> tuple[tuple[str, ...], tuple[str, ...]]:
+    """Schema-level validation shared with the algebra oracle."""
+    shell_dividend = Relation(dividend.schema)
+    shell_divisor = Relation(divisor.schema)
+    return division_attribute_split(shell_dividend, shell_divisor)
+
+
+def hash_division(
+    dividend: Relation,
+    divisor: Relation,
+    ctx: ExecContext | None = None,
+    early_output: bool = False,
+    mode: str = "bitmap",
+    name: str = "quotient",
+) -> Relation:
+    """Divide two in-memory relations with hash-division.
+
+    Convenience wrapper building the two-source plan and draining it.
+    For metered experiments over stored relations, construct
+    :class:`HashDivision` over :class:`~repro.executor.scan.StoredRelationScan`
+    inputs instead.
+    """
+    ctx = ctx or ExecContext()
+    operator = HashDivision(
+        RelationSource(ctx, dividend),
+        RelationSource(ctx, divisor),
+        early_output=early_output,
+        mode=mode,
+        expected_divisor=len(divisor),
+    )
+    return run_to_relation(operator, name=name)

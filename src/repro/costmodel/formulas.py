@@ -1,0 +1,217 @@
+"""Per-algorithm analytical cost formulas (Sections 4.2-4.5).
+
+All formulas price the paper's assumed case ``R = Q × S`` (every
+dividend tuple participates in the quotient) with duplicate-free
+inputs, and omit the common cost of projecting and writing the
+quotient.  Each function returns an itemized
+:class:`CostBreakdown` whose components sum to the figure printed in
+Table 2.
+
+The exact composition of each Table 2 column, reverse-engineered
+against all nine printed size points (documented in EXPERIMENTS.md):
+
+* **Naive division** (§4.2): sort R (disk merge sort) + sort S
+  (quicksort) + the division step ``(r + s) SIO + |R| Comp``.
+* **Sort-based aggregation, no join** (§4.3): sort R + sort S +
+  aggregation ``|R| Comp`` + scalar aggregate ``s SIO``.
+* **Sort-based aggregation, with join**: *twice* the no-join column
+  (the relation is sorted once for the join and once for the
+  aggregation, and the paper doubles the aggregation-side bookkeeping
+  with it) + the merge-join step ``(r + s) SIO + |R| |S| Comp``.
+* **Hash-based aggregation, no join** (§4.4):
+  ``r SIO + |R| (Hash + hbs Comp) + s SIO``.
+* **Hash-based aggregation, with join**: no-join cost + the semi-join
+  ``(s + r) SIO + |S| Hash + |R| (Hash + hbs Comp)``.
+* **Hash-division** (§4.5):
+  ``(r + s) SIO + |S| Hash + |R| (2 (Hash + hbs Comp) + Bit)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ExperimentError
+from repro.costmodel.sorting import external_merge_sort_cost, quicksort_cost
+from repro.costmodel.units import CostUnits, PAPER_UNITS
+
+
+@dataclass(frozen=True)
+class DivisionScenario:
+    """The Section 4.6 scenario parameters.
+
+    ``R = Q × S``: the dividend has ``|Q| · |S|`` tuples.  Ten divisor
+    or quotient tuples fit on a page, which "implies that 5 tuples of R
+    fit on one page" (dividend tuples carry both attribute groups).
+    """
+
+    divisor_tuples: int
+    quotient_tuples: int
+    memory_pages: int = 100
+    divisor_tuples_per_page: int = 10
+    quotient_tuples_per_page: int = 10
+    dividend_tuples_per_page: int = 5
+    hash_bucket_size: float = 2.0
+    merge_pass_mode: str = "paper"
+    dividend_tuples_override: int = 0
+
+    def __post_init__(self) -> None:
+        if self.divisor_tuples <= 0 or self.quotient_tuples <= 0:
+            raise ExperimentError("scenario sizes must be positive")
+
+    @property
+    def dividend_tuples(self) -> int:
+        """|R|: the override when given, else |Q| · |S| (the assumed
+        case R = Q x S).  The override exists for the cost advisor,
+        which knows the actual dividend cardinality."""
+        if self.dividend_tuples_override:
+            return self.dividend_tuples_override
+        return self.divisor_tuples * self.quotient_tuples
+
+    @property
+    def dividend_pages(self) -> float:
+        """r (fractional pages, as the paper computes them)."""
+        return self.dividend_tuples / self.dividend_tuples_per_page
+
+    @property
+    def divisor_pages(self) -> float:
+        """s (fractional pages)."""
+        return self.divisor_tuples / self.divisor_tuples_per_page
+
+    @property
+    def quotient_pages(self) -> float:
+        """q (fractional pages)."""
+        return self.quotient_tuples / self.quotient_tuples_per_page
+
+
+@dataclass
+class CostBreakdown:
+    """An itemized model cost: component name -> milliseconds."""
+
+    algorithm: str
+    components: dict = field(default_factory=dict)
+
+    def add(self, name: str, ms: float) -> "CostBreakdown":
+        """Add (or accumulate) one component."""
+        self.components[name] = self.components.get(name, 0.0) + ms
+        return self
+
+    @property
+    def total_ms(self) -> float:
+        """Sum of all components -- the Table 2 cell value."""
+        return sum(self.components.values())
+
+    def __repr__(self) -> str:
+        return f"<CostBreakdown {self.algorithm}: {self.total_ms:.1f} ms>"
+
+
+def _sort_dividend(s: DivisionScenario, units: CostUnits) -> float:
+    return external_merge_sort_cost(
+        s.dividend_tuples,
+        s.dividend_pages,
+        s.memory_pages,
+        units,
+        mode=s.merge_pass_mode,
+    )
+
+
+def naive_division_cost(
+    scenario: DivisionScenario, units: CostUnits = PAPER_UNITS
+) -> CostBreakdown:
+    """§4.2: sort both inputs, then one merging scan.
+
+    The division step is ``(r + s) SIO + |R| Comp``: "the outer
+    relation is scanned once and the inner is assumed to be kept in
+    buffer memory".
+    """
+    out = CostBreakdown("naive")
+    out.add("sort dividend", _sort_dividend(scenario, units))
+    out.add("sort divisor", quicksort_cost(scenario.divisor_tuples, units))
+    out.add(
+        "division scan",
+        (scenario.dividend_pages + scenario.divisor_pages) * units.sio
+        + scenario.dividend_tuples * units.comp,
+    )
+    return out
+
+
+def sort_aggregation_cost(
+    scenario: DivisionScenario,
+    with_join: bool = False,
+    units: CostUnits = PAPER_UNITS,
+) -> CostBreakdown:
+    """§4.3: division by counting with sort-based aggregation.
+
+    Without a join: sort the dividend (aggregating in the final merge,
+    ``|R| Comp``), count the divisor (``s SIO``), and sort the divisor
+    for the requested duplicate elimination.  With a join, the dividend
+    is sorted twice (once per ordering) and the merge join adds
+    ``(r + s) SIO + |R| |S| Comp``; Table 2's with-join column is
+    exactly twice the no-join column plus the join step.
+    """
+    out = CostBreakdown("sort-aggregation" + (" with join" if with_join else ""))
+    multiplier = 2 if with_join else 1
+    out.add("sort dividend", multiplier * _sort_dividend(scenario, units))
+    out.add(
+        "aggregation", multiplier * scenario.dividend_tuples * units.comp
+    )
+    out.add(
+        "scalar aggregate", multiplier * scenario.divisor_pages * units.sio
+    )
+    out.add(
+        "sort divisor",
+        multiplier * quicksort_cost(scenario.divisor_tuples, units),
+    )
+    if with_join:
+        out.add(
+            "merge join",
+            (scenario.dividend_pages + scenario.divisor_pages) * units.sio
+            + scenario.dividend_tuples * scenario.divisor_tuples * units.comp,
+        )
+    return out
+
+
+def hash_aggregation_cost(
+    scenario: DivisionScenario,
+    with_join: bool = False,
+    units: CostUnits = PAPER_UNITS,
+) -> CostBreakdown:
+    """§4.4: division by counting with hash-based aggregation.
+
+    No join: ``r SIO + |R| (Hash + hbs Comp) + s SIO``.  The semi-join,
+    when needed, costs ``(s + r) SIO + |S| Hash + |R| (Hash + hbs
+    Comp)`` on top.
+    """
+    out = CostBreakdown("hash-aggregation" + (" with join" if with_join else ""))
+    per_tuple = units.hash_ + scenario.hash_bucket_size * units.comp
+    out.add("read dividend", scenario.dividend_pages * units.sio)
+    out.add("hash aggregation", scenario.dividend_tuples * per_tuple)
+    out.add("scalar aggregate", scenario.divisor_pages * units.sio)
+    if with_join:
+        out.add(
+            "semi-join I/O",
+            (scenario.divisor_pages + scenario.dividend_pages) * units.sio,
+        )
+        out.add("semi-join build", scenario.divisor_tuples * units.hash_)
+        out.add("semi-join probe", scenario.dividend_tuples * per_tuple)
+    return out
+
+
+def hash_division_cost(
+    scenario: DivisionScenario, units: CostUnits = PAPER_UNITS
+) -> CostBreakdown:
+    """§4.5: hash-division.
+
+    ``(r + s) SIO + |S| Hash + |R| (2 (Hash + hbs Comp) + Bit)`` --
+    both inputs read sequentially; each dividend tuple probes two hash
+    tables (divisor and quotient) and sets one bit.
+    """
+    out = CostBreakdown("hash-division")
+    per_tuple = units.hash_ + scenario.hash_bucket_size * units.comp
+    out.add(
+        "read inputs",
+        (scenario.dividend_pages + scenario.divisor_pages) * units.sio,
+    )
+    out.add("build divisor table", scenario.divisor_tuples * units.hash_)
+    out.add("probe both tables", scenario.dividend_tuples * 2 * per_tuple)
+    out.add("set bits", scenario.dividend_tuples * units.bit)
+    return out

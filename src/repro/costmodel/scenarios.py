@@ -1,0 +1,92 @@
+"""The Section 4.6 scenario grid regenerating Table 2.
+
+"We consider three sizes for S and Q, 25, 100, or 400 tuples.  We
+assume that 10 tuples of either S or Q fit on one page, which implies
+that 5 tuples of R fit on one page.  The memory used for sorting or
+hash tables is 100 pages, the average hash bucket size hbs is 2."
+"""
+
+from __future__ import annotations
+
+from repro.costmodel.formulas import (
+    CostBreakdown,
+    DivisionScenario,
+    hash_aggregation_cost,
+    hash_division_cost,
+    naive_division_cost,
+    sort_aggregation_cost,
+)
+from repro.costmodel.units import CostUnits, PAPER_UNITS
+
+TABLE2_SIZES: tuple[tuple[int, int], ...] = (
+    (25, 25),
+    (25, 100),
+    (25, 400),
+    (100, 25),
+    (100, 100),
+    (100, 400),
+    (400, 25),
+    (400, 100),
+    (400, 400),
+)
+"""The nine (|S|, |Q|) points of Table 2, in the paper's row order."""
+
+TABLE2_COLUMNS: tuple[str, ...] = (
+    "naive",
+    "sort-agg no join",
+    "sort-agg with join",
+    "hash-agg no join",
+    "hash-agg with join",
+    "hash-division",
+)
+"""The six strategy columns of Table 2, in the paper's column order."""
+
+#: The figures printed in the paper's Table 2 (milliseconds), keyed by
+#: (|S|, |Q|); used by tests and EXPERIMENTS.md to report deviation.
+PAPER_TABLE2: dict[tuple[int, int], tuple[int, ...]] = {
+    (25, 25): (9949, 8074, 18529, 1969, 3938, 2028),
+    (25, 100): (39663, 32163, 73738, 7763, 15526, 7996),
+    (25, 400): (158517, 128517, 294572, 30938, 61876, 31868),
+    (100, 25): (39808, 32308, 79766, 7875, 15753, 8111),
+    (100, 100): (158662, 128662, 317475, 31050, 62103, 31983),
+    (100, 400): (634080, 514080, 1268311, 123750, 247503, 127473),
+    (400, 25): (159280, 129280, 409160, 31500, 63012, 32442),
+    (400, 100): (634698, 514698, 1629996, 124200, 248412, 127932),
+    (400, 400): (2536369, 2056369, 6513339, 495000, 990012, 509892),
+}
+
+
+def scenario_costs(
+    scenario: DivisionScenario, units: CostUnits = PAPER_UNITS
+) -> dict[str, CostBreakdown]:
+    """All six strategy costs for one scenario, keyed by column name."""
+    return {
+        "naive": naive_division_cost(scenario, units),
+        "sort-agg no join": sort_aggregation_cost(scenario, False, units),
+        "sort-agg with join": sort_aggregation_cost(scenario, True, units),
+        "hash-agg no join": hash_aggregation_cost(scenario, False, units),
+        "hash-agg with join": hash_aggregation_cost(scenario, True, units),
+        "hash-division": hash_division_cost(scenario, units),
+    }
+
+
+def table2_grid(units: CostUnits = PAPER_UNITS) -> list[dict]:
+    """Recompute Table 2.
+
+    Returns one dict per row: ``{"S": ..., "Q": ..., "costs": {column:
+    CostBreakdown}, "paper": {column: printed ms}}``.
+    """
+    rows = []
+    for divisor_tuples, quotient_tuples in TABLE2_SIZES:
+        scenario = DivisionScenario(divisor_tuples, quotient_tuples)
+        costs = scenario_costs(scenario, units)
+        paper = dict(zip(TABLE2_COLUMNS, PAPER_TABLE2[(divisor_tuples, quotient_tuples)]))
+        rows.append(
+            {
+                "S": divisor_tuples,
+                "Q": quotient_tuples,
+                "costs": costs,
+                "paper": paper,
+            }
+        )
+    return rows

@@ -1,0 +1,65 @@
+"""Table 1: the analytical cost units.
+
+=====  =====  ==========================================================
+Unit    ms    Description
+=====  =====  ==========================================================
+RIO    30     random I/O, one page from or to disk
+SIO    15     sequential I/O, one page from or to disk
+Comp   0.03   comparison of two tuples
+Hash   0.03   calculation of a hash value from a tuple
+Move   0.4    memory-to-memory copy of one page
+Bit    0.003  setting a bit in a bit map, and clearing and scanning a
+              bit in a bit map
+=====  =====  ==========================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.metering import CpuCounters
+
+
+@dataclass(frozen=True)
+class CostUnits:
+    """The Table 1 unit costs, in milliseconds."""
+
+    rio: float = 30.0
+    sio: float = 15.0
+    comp: float = 0.03
+    hash_: float = 0.03
+    move: float = 0.4
+    bit: float = 0.003
+
+    def cpu_cost_ms(self, counters: CpuCounters) -> float:
+        """Weight measured CPU counters into model milliseconds.
+
+        This is how the experimental comparison prices the abstract
+        operations counted during real (simulated) execution.
+        """
+        return (
+            counters.comparisons * self.comp
+            + counters.hashes * self.hash_
+            + counters.moves * self.move
+            + counters.bit_ops * self.bit
+        )
+
+    def as_table(self) -> list[tuple[str, float, str]]:
+        """Rows of Table 1: (unit, ms, description)."""
+        return [
+            ("RIO", self.rio, "random I/O, one page from or to disk"),
+            ("SIO", self.sio, "sequential I/O, one page from or to disk"),
+            ("Comp", self.comp, "comparison of two tuples"),
+            ("Hash", self.hash_, "calculation of a hash value from a tuple"),
+            ("Move", self.move, "memory to memory copy of one page"),
+            (
+                "Bit",
+                self.bit,
+                "setting a bit in a bit map, and clearing and scanning "
+                "a bit in a bit map",
+            ),
+        ]
+
+
+#: The paper's Table 1 values.
+PAPER_UNITS = CostUnits()

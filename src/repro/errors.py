@@ -1,0 +1,95 @@
+"""Exception hierarchy for the ``repro`` package.
+
+Every error raised intentionally by this library derives from
+:class:`ReproError`, so callers can catch one type to handle any
+library-level failure while letting genuine programming errors
+(``TypeError``, ``KeyError``, ...) propagate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class SchemaError(ReproError):
+    """A schema is malformed or two schemas are incompatible.
+
+    Raised, for example, when a projection names a column that does not
+    exist, or when a division is attempted whose divisor attributes are
+    not a subset of the dividend attributes.
+    """
+
+
+class DivisionError(ReproError):
+    """A relational-division request is invalid.
+
+    Raised when the dividend/divisor schemas do not satisfy the
+    preconditions of the division operator (the divisor attributes must
+    be a proper, non-empty subset of the dividend attributes).
+    """
+
+
+class StorageError(ReproError):
+    """Base class for storage-layer failures."""
+
+
+class DiskError(StorageError):
+    """An I/O request addressed a page outside the device, or a device
+    was used after being closed."""
+
+
+class BufferPoolError(StorageError):
+    """The buffer pool cannot satisfy a request.
+
+    Raised when every frame is fixed and the pool has exhausted its
+    memory budget, or when unfixing a page that is not fixed.
+    """
+
+
+class PageError(StorageError):
+    """A slotted-page operation failed (record too large, bad slot...)."""
+
+
+class RecordNotFoundError(StorageError):
+    """A record identifier does not resolve to a live record."""
+
+
+class MemoryPoolError(StorageError):
+    """The main-memory manager ran out of its configured budget."""
+
+
+class BTreeError(StorageError):
+    """A B+-tree structural invariant would be violated."""
+
+
+class ExecutionError(ReproError):
+    """A query-evaluation operator was used incorrectly.
+
+    Raised for protocol violations of the open-next-close iterator
+    contract, e.g. calling ``next()`` on an operator that has not been
+    opened.
+    """
+
+
+class HashTableOverflowError(ExecutionError):
+    """An in-memory hash table exceeded its memory budget.
+
+    The partitioned division driver in :mod:`repro.core.partitioned`
+    catches this to fall back to multi-phase processing; user code that
+    calls the single-phase operators directly sees it as an error.
+    """
+
+
+class PartitioningError(ReproError):
+    """A partitioned or parallel execution was configured incorrectly."""
+
+
+class WorkloadError(ReproError):
+    """A workload generator received inconsistent parameters."""
+
+
+class ExperimentError(ReproError):
+    """An experiment harness was asked for an unknown experiment or an
+    inconsistent configuration."""

@@ -1,0 +1,199 @@
+"""Aggregation operators: scalar count, sorted group count, hash group count.
+
+Division by counting (Section 2.2) needs exactly three aggregation
+pieces:
+
+1. a *scalar aggregate* counting the divisor ("the courses offered by
+   the university are counted using a scalar aggregate operator"),
+2. an *aggregate function* counting dividend tuples per group, either
+   sort-based (:class:`SortedGroupCount`, usually fused into
+   :class:`~repro.executor.sort.ExternalSort` via a count reducer) or
+   hash-based (:class:`HashGroupCount`),
+3. a final selection comparing the two counts, expressed with
+   :class:`~repro.executor.filter.Select`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.executor.hash_table import ChainedHashTable
+from repro.executor.iterator import QueryIterator
+from repro.relalg.schema import Attribute, Schema
+from repro.relalg.tuples import Row, projector
+
+COUNT_COLUMN = "count"
+
+
+def counted_schema(input_schema: Schema, group_names: Sequence[str]) -> Schema:
+    """Schema of a group-count output: group attributes + ``count``."""
+    return Schema(
+        tuple(input_schema.project(group_names)) + (Attribute(COUNT_COLUMN),)
+    )
+
+
+class ScalarCount(QueryIterator):
+    """COUNT(*) over the whole input: one output row ``(count,)``.
+
+    The paper ignores the per-tuple increment cost, and so does this
+    operator -- the input's own scan cost is the real price.
+    """
+
+    def __init__(self, input_op: QueryIterator) -> None:
+        super().__init__(input_op.ctx, Schema.of_ints(COUNT_COLUMN))
+        self.input_op = input_op
+        self._emitted = False
+
+    def _open(self) -> None:
+        self.input_op.open()
+        self._emitted = False
+
+    def _next(self) -> Optional[Row]:
+        if self._emitted:
+            return None
+        count = 0
+        while self.input_op.next() is not None:
+            count += 1
+        self._emitted = True
+        return (count,)
+
+    def _close(self) -> None:
+        self.input_op.close()
+
+    def children(self) -> tuple[QueryIterator, ...]:
+        return (self.input_op,)
+
+
+class SortedGroupCount(QueryIterator):
+    """COUNT(*) per group over an input sorted on the group attributes.
+
+    One comparison per input tuple (current group vs. tuple), the cost
+    model's ``|R| Comp`` for sort-based aggregation.
+    """
+
+    def __init__(self, input_op: QueryIterator, group_names: Sequence[str]) -> None:
+        super().__init__(input_op.ctx, counted_schema(input_op.schema, group_names))
+        self.input_op = input_op
+        self.group_names = tuple(group_names)
+        self._extract = None
+        self._current: tuple | None = None
+        self._count = 0
+        self._exhausted = False
+
+    def _open(self) -> None:
+        self.input_op.open()
+        self._extract = projector(self.input_op.schema, self.group_names)
+        self._current = None
+        self._count = 0
+        self._exhausted = False
+
+    def _next(self) -> Optional[Row]:
+        assert self._extract is not None
+        if self._exhausted:
+            return None
+        cpu = self.ctx.cpu
+        while True:
+            row = self.input_op.next()
+            if row is None:
+                self._exhausted = True
+                if self._current is not None and self._count > 0:
+                    return self._current + (self._count,)
+                return None
+            group = self._extract(row)
+            if self._current is None:
+                self._current = group
+                self._count = 1
+                continue
+            cpu.comparisons += 1
+            if group == self._current:
+                self._count += 1
+                continue
+            finished = self._current + (self._count,)
+            self._current = group
+            self._count = 1
+            return finished
+
+    def _close(self) -> None:
+        self.input_op.close()
+
+    def children(self) -> tuple[QueryIterator, ...]:
+        return (self.input_op,)
+
+    def describe(self) -> str:
+        return f"SortedGroupCount(by={','.join(self.group_names)})"
+
+
+class HashGroupCount(QueryIterator):
+    """COUNT(*) per group using an in-memory hash table.
+
+    "Hash-based aggregate functions keep the tuples of the output
+    relation in a main memory hash-table ... since the hash table
+    contains only the aggregation output, it is not necessary that the
+    aggregation input fit into main memory." (Section 2.2.2.)
+
+    The table holds one entry per *group*, so memory is charged by
+    group count, not input size.  This operator is stop-and-go: the
+    entire input is consumed at open.
+    """
+
+    def __init__(
+        self,
+        input_op: QueryIterator,
+        group_names: Sequence[str],
+        expected_groups: int = 0,
+    ) -> None:
+        super().__init__(input_op.ctx, counted_schema(input_op.schema, group_names))
+        self.input_op = input_op
+        self.group_names = tuple(group_names)
+        self.expected_groups = expected_groups
+        self._table: ChainedHashTable | None = None
+        self._output = None
+
+    def _open(self) -> None:
+        extract = projector(self.input_op.schema, self.group_names)
+        group_bytes = self.input_op.schema.project(self.group_names).record_size
+        self.input_op.open()
+        try:
+            first_pass = list(self.input_op) if self.expected_groups == 0 else None
+        finally:
+            if self.expected_groups == 0:
+                self.input_op.close()
+        if first_pass is not None:
+            # No sizing hint: size the table from the actual input
+            # (the pessimistic all-distinct case).
+            expected = max(1, len(first_pass))
+            rows = iter(first_pass)
+        else:
+            expected = self.expected_groups
+            rows = iter(self.input_op)
+        self._table = ChainedHashTable(
+            self.ctx.cpu,
+            self.ctx.memory,
+            bucket_count=ChainedHashTable.buckets_for(expected),
+            entry_bytes=group_bytes + 8,
+            tag="hash-aggregate",
+        )
+        for row in rows:
+            counter, _ = self._table.find_or_insert(extract(row), lambda: [0])
+            counter[0] += 1
+        if first_pass is None:
+            self.input_op.close()
+        self._output = (
+            group + (counter[0],) for group, counter in self._table.items()
+        )
+
+    def _next(self) -> Optional[Row]:
+        assert self._output is not None
+        return next(self._output, None)
+
+    def _close(self) -> None:
+        if self._table is not None:
+            self._table.free()
+            self._table = None
+        self._output = None
+
+    def children(self) -> tuple[QueryIterator, ...]:
+        return (self.input_op,)
+
+    def describe(self) -> str:
+        return f"HashGroupCount(by={','.join(self.group_names)})"

@@ -1,0 +1,49 @@
+"""The selection operator."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.executor.iterator import QueryIterator
+from repro.relalg.predicates import Predicate
+from repro.relalg.tuples import Row
+
+
+class Select(QueryIterator):
+    """σ: pass through the input tuples satisfying a predicate.
+
+    Each evaluated tuple is charged one comparison -- predicate
+    evaluation against a constant is the same unit of work the cost
+    model's ``Comp`` stands for.
+    """
+
+    def __init__(self, input_op: QueryIterator, predicate: Predicate) -> None:
+        super().__init__(input_op.ctx, input_op.schema)
+        self.input_op = input_op
+        self.predicate = predicate
+        self._test = None
+
+    def _open(self) -> None:
+        self.input_op.open()
+        self._test = self.predicate.compile(self.schema)
+
+    def _next(self) -> Optional[Row]:
+        assert self._test is not None
+        cpu = self.ctx.cpu
+        while True:
+            row = self.input_op.next()
+            if row is None:
+                return None
+            cpu.comparisons += 1
+            if self._test(row):
+                return row
+
+    def _close(self) -> None:
+        self.input_op.close()
+        self._test = None
+
+    def children(self) -> tuple[QueryIterator, ...]:
+        return (self.input_op,)
+
+    def describe(self) -> str:
+        return f"Select({self.predicate!r})"

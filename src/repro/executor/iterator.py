@@ -1,0 +1,240 @@
+"""The open-next-close iterator protocol and the execution context.
+
+"All relational algebra operators are implemented as iterators, i.e.,
+they support a simple open-next-close protocol" (Section 5.1).  Here:
+
+* :meth:`QueryIterator.open` prepares the operator (and opens its
+  inputs); stop-and-go operators such as sort do their heavy lifting
+  here,
+* :meth:`QueryIterator.next` returns one output tuple or ``None`` when
+  exhausted,
+* :meth:`QueryIterator.close` releases resources (and closes inputs).
+
+The protocol is enforced with an explicit state machine so misuse is a
+clear :class:`~repro.errors.ExecutionError` rather than silent garbage.
+
+:class:`ExecContext` is the shared machinery an executing plan runs
+against: storage configuration, buffer pool, I/O statistics, the CPU
+operation counters, the main-memory pool for hash tables, and a temp
+file allocator for sort runs and spooled partitions.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from typing import Iterator, Optional
+
+from repro.errors import ExecutionError
+from repro.metering import CpuCounters
+from repro.relalg.relation import Relation
+from repro.relalg.schema import Schema
+from repro.relalg.tuples import Row
+from repro.storage.buffer import BufferPool
+from repro.storage.config import StorageConfig
+from repro.storage.disk import SimulatedDisk
+from repro.storage.heapfile import HeapFile
+from repro.storage.memory import MemoryPool
+from repro.storage.stats import IoStatistics
+
+
+class ExecContext:
+    """Everything a running plan shares: devices, meters, memory.
+
+    Args:
+        config: Physical storage parameters.
+        memory_budget: Byte budget for in-memory hash tables and bit
+            maps; ``None`` means unbounded.
+
+    The context owns three devices:
+
+    * ``data``  -- 8 KB pages, where base relations live,
+    * ``temp``  -- 8 KB pages, for spooled intermediates and partitions,
+    * ``runs``  -- 1 KB pages, for sort runs ("1 KB to allow high
+      fan-in", Section 5.1).
+    """
+
+    def __init__(
+        self,
+        config: StorageConfig | None = None,
+        memory_budget: int | None = None,
+        storage_dir: str | None = None,
+    ) -> None:
+        self.config = config or StorageConfig()
+        self.io_stats = IoStatistics(self.config.io_weights)
+        self.cpu = CpuCounters()
+        self.pool = BufferPool(self.config)
+        self.memory = MemoryPool(memory_budget)
+        if storage_dir is None:
+            # The paper's main-memory disk simulation.
+            make_disk = lambda name, page_size: SimulatedDisk(
+                name, page_size, self.io_stats
+            )
+        else:
+            # The paper's alternative: "simulates a disk using a UNIX
+            # file"; one backing file per device under storage_dir.
+            import os
+
+            from repro.storage.filedisk import FileBackedDisk
+
+            os.makedirs(storage_dir, exist_ok=True)
+            make_disk = lambda name, page_size: FileBackedDisk(
+                name,
+                page_size,
+                os.path.join(storage_dir, f"{name}.disk"),
+                self.io_stats,
+            )
+        self.data_disk = self.pool.register_device(
+            make_disk("data", self.config.page_size)
+        )
+        self.temp_disk = self.pool.register_device(
+            make_disk("temp", self.config.page_size)
+        )
+        self.run_disk = self.pool.register_device(
+            make_disk("runs", self.config.sort_run_page_size)
+        )
+        self._temp_names = itertools.count()
+
+    def close(self) -> None:
+        """Release the context's devices (closes backing files)."""
+        for disk in (self.data_disk, self.temp_disk, self.run_disk):
+            disk.close()
+
+    # -- temp files -----------------------------------------------------
+
+    def temp_file(self, kind: str = "temp") -> HeapFile:
+        """Create a scratch heap file.
+
+        Args:
+            kind: ``"temp"`` for 8 KB-page intermediates, ``"runs"``
+                for 1 KB-page sort runs.
+        """
+        if kind == "runs":
+            disk = self.run_disk
+        elif kind == "temp":
+            disk = self.temp_disk
+        else:
+            raise ExecutionError(f"unknown temp file kind {kind!r}")
+        return HeapFile(self.pool, disk, name=f"{kind}-{next(self._temp_names)}")
+
+    # -- meter access -----------------------------------------------------
+
+    def io_cost_ms(self) -> float:
+        """Total model I/O milliseconds so far (Table 3 weights)."""
+        return self.io_stats.cost_ms()
+
+    def reset_meters(self) -> None:
+        """Zero the CPU counters and I/O statistics (not the pool)."""
+        self.cpu.reset()
+        self.io_stats.reset()
+
+
+class _State(enum.Enum):
+    CLOSED = "closed"
+    OPEN = "open"
+    FINISHED = "finished"
+
+
+class QueryIterator:
+    """Base class for all operators: the open-next-close protocol.
+
+    Subclasses implement ``_open``, ``_next``, and optionally
+    ``_close``; the public methods enforce the protocol state machine.
+    An operator may be re-opened after :meth:`close` when its inputs
+    support it.
+    """
+
+    def __init__(self, ctx: ExecContext, schema: Schema) -> None:
+        self.ctx = ctx
+        self.schema = schema
+        self.rows_produced = 0
+        self._state = _State.CLOSED
+
+    # -- public protocol ---------------------------------------------------
+
+    def open(self) -> None:
+        """Prepare the operator for producing tuples."""
+        if self._state is not _State.CLOSED:
+            raise ExecutionError(
+                f"{type(self).__name__}.open() called in state {self._state.value}"
+            )
+        self.rows_produced = 0
+        self._open()
+        self._state = _State.OPEN
+
+    def next(self) -> Optional[Row]:
+        """Produce the next tuple, or ``None`` when exhausted."""
+        if self._state is _State.FINISHED:
+            return None
+        if self._state is not _State.OPEN:
+            raise ExecutionError(
+                f"{type(self).__name__}.next() called in state {self._state.value}"
+            )
+        row = self._next()
+        if row is None:
+            self._state = _State.FINISHED
+        else:
+            self.rows_produced += 1
+        return row
+
+    def close(self) -> None:
+        """Release resources; idempotent once open."""
+        if self._state is _State.CLOSED:
+            raise ExecutionError(f"{type(self).__name__}.close() called while closed")
+        self._close()
+        self._state = _State.CLOSED
+
+    # -- subclass hooks -------------------------------------------------------
+
+    def _open(self) -> None:
+        raise NotImplementedError
+
+    def _next(self) -> Optional[Row]:
+        raise NotImplementedError
+
+    def _close(self) -> None:
+        """Default: nothing to release."""
+
+    # -- conveniences ------------------------------------------------------------
+
+    def __iter__(self) -> Iterator[Row]:
+        """Drain the (already opened) operator as a Python iterator."""
+        while True:
+            row = self.next()
+            if row is None:
+                return
+            yield row
+
+    def children(self) -> tuple["QueryIterator", ...]:
+        """Direct input operators, for plan display."""
+        return ()
+
+    def explain(self, indent: int = 0, analyze: bool = False) -> str:
+        """Render the operator subtree as an indented plan.
+
+        With ``analyze=True`` each line carries the number of rows the
+        operator has produced so far -- call after draining the plan
+        for an EXPLAIN ANALYZE view.
+        """
+        label = self.describe()
+        if analyze:
+            label = f"{label}  [rows={self.rows_produced}]"
+        lines = ["  " * indent + label]
+        lines.extend(
+            child.explain(indent + 1, analyze=analyze) for child in self.children()
+        )
+        return "\n".join(lines)
+
+    def describe(self) -> str:
+        """One-line operator description used by :meth:`explain`."""
+        return type(self).__name__
+
+
+def run_to_relation(operator: QueryIterator, name: str = "") -> Relation:
+    """Open, drain, and close an operator, collecting a Relation."""
+    operator.open()
+    try:
+        rows = list(operator)
+    finally:
+        operator.close()
+    return Relation(operator.schema, rows, name=name)

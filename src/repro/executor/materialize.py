@@ -1,0 +1,95 @@
+"""Materialization: spool a plan's output to a temp file and rescan it.
+
+Used when an intermediate result must be consumed more than once or
+must exist in file form (e.g. partition spooling in the overflow
+driver).  The spooled file lives on the 8 KB ``temp`` device and is
+destroyed on close.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+from repro.executor.iterator import ExecContext, QueryIterator
+from repro.relalg.schema import Schema
+from repro.relalg.tuples import Row
+from repro.storage.heapfile import HeapFile
+
+
+class Materialize(QueryIterator):
+    """Spool the input to a temp heap file at open, then scan it.
+
+    The write pays sequential write I/O (on eviction/flush) and the
+    scan pays read I/O only for pages that no longer sit in the buffer
+    pool -- mirroring the paper's observation that temp pages often
+    "remain in the buffer pool from run creation to merging and
+    deletion" (Section 5.2).
+    """
+
+    def __init__(self, input_op: QueryIterator) -> None:
+        super().__init__(input_op.ctx, input_op.schema)
+        self.input_op = input_op
+        self._file: HeapFile | None = None
+        self._rows: Iterator[Row] | None = None
+        self._codec = input_op.schema.codec()
+
+    def _open(self) -> None:
+        self._file = self.ctx.temp_file("temp")
+        self.input_op.open()
+        try:
+            encode = self._codec.encode
+            self._file.append_many(encode(row) for row in self.input_op)
+        finally:
+            self.input_op.close()
+        decode = self._codec.decode
+        self._rows = (decode(record) for _rid, record in self._file.scan())
+
+    def _next(self) -> Optional[Row]:
+        assert self._rows is not None
+        return next(self._rows, None)
+
+    def _close(self) -> None:
+        self._rows = None
+        if self._file is not None:
+            self._file.destroy()
+            self._file = None
+
+    def children(self) -> tuple[QueryIterator, ...]:
+        return (self.input_op,)
+
+
+class TempFileScan(QueryIterator):
+    """Scan an existing temp heap file, optionally destroying it after.
+
+    The partitioned-division driver writes partition files itself and
+    uses this operator to feed each phase.
+    """
+
+    def __init__(
+        self,
+        ctx: ExecContext,
+        file: HeapFile,
+        schema: Schema,
+        destroy_on_close: bool = False,
+    ) -> None:
+        super().__init__(ctx, schema)
+        self.file = file
+        self.destroy_on_close = destroy_on_close
+        self._codec = schema.codec()
+        self._rows: Iterator[Row] | None = None
+
+    def _open(self) -> None:
+        decode = self._codec.decode
+        self._rows = (decode(record) for _rid, record in self.file.scan())
+
+    def _next(self) -> Optional[Row]:
+        assert self._rows is not None
+        return next(self._rows, None)
+
+    def _close(self) -> None:
+        self._rows = None
+        if self.destroy_on_close:
+            self.file.destroy()
+
+    def describe(self) -> str:
+        return f"TempFileScan({self.file.name})"

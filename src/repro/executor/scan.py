@@ -1,0 +1,68 @@
+"""Source operators: file scans and in-memory relation sources.
+
+:class:`StoredRelationScan` is the metered path -- it reads pages
+through the buffer pool, so cold scans incur sequential read I/O
+exactly as the paper's file scans did.  :class:`RelationSource` feeds
+an in-memory :class:`~repro.relalg.relation.Relation` into a plan with
+no I/O at all; it models an input arriving from an upstream operator in
+a dataflow system, and is what lets unit tests exercise operators
+without a storage setup.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+from repro.executor.iterator import ExecContext, QueryIterator
+from repro.relalg.relation import Relation
+from repro.relalg.tuples import Row
+from repro.storage.catalog import StoredRelation
+
+
+class StoredRelationScan(QueryIterator):
+    """Sequential scan of a stored relation (heap file + codec).
+
+    Each page is fixed once, in physical order; buffer misses become
+    sequential read transfers on the backing device.
+    """
+
+    def __init__(self, ctx: ExecContext, stored: StoredRelation) -> None:
+        super().__init__(ctx, stored.schema)
+        self.stored = stored
+        self._rows: Iterator[Row] | None = None
+
+    def _open(self) -> None:
+        self._rows = (row for _rid, row in self.stored.scan_rows())
+
+    def _next(self) -> Optional[Row]:
+        assert self._rows is not None
+        return next(self._rows, None)
+
+    def _close(self) -> None:
+        self._rows = None
+
+    def describe(self) -> str:
+        return f"StoredRelationScan({self.stored.name})"
+
+
+class RelationSource(QueryIterator):
+    """Feed an in-memory relation into a plan (no I/O charged)."""
+
+    def __init__(self, ctx: ExecContext, relation: Relation) -> None:
+        super().__init__(ctx, relation.schema)
+        self.relation = relation
+        self._rows: Iterator[Row] | None = None
+
+    def _open(self) -> None:
+        self._rows = iter(self.relation)
+
+    def _next(self) -> Optional[Row]:
+        assert self._rows is not None
+        return next(self._rows, None)
+
+    def _close(self) -> None:
+        self._rows = None
+
+    def describe(self) -> str:
+        label = self.relation.name or "anonymous"
+        return f"RelationSource({label}, {len(self.relation)} tuples)"

@@ -1,0 +1,37 @@
+"""Experiment harness: regenerate every table of the paper.
+
+* :mod:`repro.experiments.table1` -- Table 1, the analytical cost units,
+* :mod:`repro.experiments.table2` -- Table 2, the analytical comparison,
+* :mod:`repro.experiments.table3` -- Table 3, the experimental I/O
+  weights,
+* :mod:`repro.experiments.table4` -- Table 4, the experimental
+  comparison run on the simulated storage stack,
+* :mod:`repro.experiments.runner` -- the per-strategy plan builder and
+  meter plumbing shared by Table 4 and the ablation benchmarks,
+* :mod:`repro.experiments.report` -- plain-text table rendering.
+
+Every ``table*`` module exposes ``rows()`` returning structured data
+and ``render()`` returning the formatted table; the benchmarks print
+the rendered form so ``pytest benchmarks/ --benchmark-only`` reproduces
+the paper's evaluation section end to end.
+"""
+
+from repro.experiments.runner import (
+    STRATEGIES,
+    DivisionRun,
+    run_strategy,
+    run_strategy_on_relations,
+)
+from repro.experiments import report, table1, table2, table3, table4
+
+__all__ = [
+    "STRATEGIES",
+    "DivisionRun",
+    "run_strategy",
+    "run_strategy_on_relations",
+    "report",
+    "table1",
+    "table2",
+    "table3",
+    "table4",
+]

@@ -1,0 +1,209 @@
+"""Plan builder and meter plumbing for the experimental comparison.
+
+:func:`run_strategy` is the unit of Table 4: store the inputs cold on
+the simulated disk, build the named strategy's plan over file scans,
+drain it, and report model CPU milliseconds (Table 1 weights applied to
+the operation counters) plus model I/O milliseconds (Table 3 weights
+applied to the disk statistics) -- the same two-meter methodology the
+paper used, with the abstract-unit meter standing in for ``getrusage``
+(see DESIGN.md, substitutions).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.errors import ExperimentError
+from repro.core.hash_division import HashDivision
+from repro.core.naive_division import NaiveDivision
+from repro.core.aggregate_division import (
+    HashAggregateDivision,
+    SortAggregateDivision,
+)
+from repro.costmodel.units import CostUnits, PAPER_UNITS
+from repro.executor.iterator import ExecContext, QueryIterator, run_to_relation
+from repro.executor.scan import StoredRelationScan
+from repro.executor.sort import ExternalSort
+from repro.relalg.algebra import division_attribute_split
+from repro.relalg.relation import Relation
+from repro.storage.catalog import Catalog
+
+STRATEGIES: tuple[str, ...] = (
+    "naive",
+    "sort-agg no join",
+    "sort-agg with join",
+    "hash-agg no join",
+    "hash-agg with join",
+    "hash-division",
+)
+"""Strategy names, matching the Table 2/Table 4 column order."""
+
+
+@dataclass
+class DivisionRun:
+    """Measured outcome of one strategy on one workload."""
+
+    strategy: str
+    dividend_tuples: int
+    divisor_tuples: int
+    quotient_tuples: int
+    cpu_ms: float
+    io_ms: float
+    wall_seconds: float
+    io_detail: dict = field(default_factory=dict)
+
+    @property
+    def total_ms(self) -> float:
+        """Model CPU + I/O milliseconds -- the Table 4 cell value."""
+        return self.cpu_ms + self.io_ms
+
+
+def build_strategy_plan(
+    strategy: str,
+    dividend_scan: QueryIterator,
+    divisor_scan: QueryIterator,
+    expected_divisor: int,
+    expected_quotient: int,
+    duplicate_free_inputs: bool = True,
+) -> QueryIterator:
+    """Build the operator tree for one named strategy.
+
+    ``duplicate_free_inputs=True`` reproduces the paper's analyzed
+    configuration (no explicit duplicate-elimination steps); pass False
+    for workloads with duplicates, which inserts the preprocessing each
+    strategy needs.
+    """
+    quotient_names, divisor_names = division_attribute_split(
+        Relation(dividend_scan.schema), Relation(divisor_scan.schema)
+    )
+    eliminate = not duplicate_free_inputs
+    if strategy == "naive":
+        sorted_dividend = ExternalSort(
+            dividend_scan,
+            key_names=quotient_names + divisor_names,
+            distinct=eliminate,
+        )
+        sorted_divisor = ExternalSort(
+            divisor_scan,
+            key_names=divisor_scan.schema.names,
+            distinct=eliminate,
+        )
+        return NaiveDivision(sorted_dividend, sorted_divisor)
+    if strategy == "sort-agg no join":
+        return SortAggregateDivision(
+            dividend_scan, divisor_scan, with_join=False, eliminate_duplicates=eliminate
+        )
+    if strategy == "sort-agg with join":
+        return SortAggregateDivision(
+            dividend_scan, divisor_scan, with_join=True, eliminate_duplicates=eliminate
+        )
+    if strategy == "hash-agg no join":
+        return HashAggregateDivision(
+            dividend_scan,
+            divisor_scan,
+            with_join=False,
+            eliminate_duplicates=eliminate,
+            expected_quotient=expected_quotient,
+        )
+    if strategy == "hash-agg with join":
+        return HashAggregateDivision(
+            dividend_scan,
+            divisor_scan,
+            with_join=True,
+            eliminate_duplicates=eliminate,
+            expected_quotient=expected_quotient,
+        )
+    if strategy == "hash-division":
+        return HashDivision(
+            dividend_scan,
+            divisor_scan,
+            expected_divisor=expected_divisor,
+            expected_quotient=expected_quotient,
+        )
+    raise ExperimentError(
+        f"unknown strategy {strategy!r}; expected one of {STRATEGIES}"
+    )
+
+
+def run_strategy(
+    strategy: str,
+    ctx: ExecContext,
+    catalog: Catalog,
+    dividend_name: str,
+    divisor_name: str,
+    expected_quotient: int = 0,
+    duplicate_free_inputs: bool = True,
+    units: CostUnits = PAPER_UNITS,
+) -> DivisionRun:
+    """Run one strategy over stored relations and meter it.
+
+    The context's meters are snapshotted around the run, so several
+    strategies can share one context (and its buffer pool state must be
+    considered: for cold runs, store the relations with ``cold=True``
+    immediately before each run, or use a fresh context per run as
+    :func:`run_strategy_on_relations` does).
+    """
+    stored_dividend = catalog.get(dividend_name)
+    stored_divisor = catalog.get(divisor_name)
+    cpu_before = ctx.cpu.snapshot()
+    io_before = ctx.io_stats.snapshot()
+    started = time.perf_counter()
+    plan = build_strategy_plan(
+        strategy,
+        StoredRelationScan(ctx, stored_dividend),
+        StoredRelationScan(ctx, stored_divisor),
+        expected_divisor=stored_divisor.record_count,
+        expected_quotient=expected_quotient,
+        duplicate_free_inputs=duplicate_free_inputs,
+    )
+    quotient = run_to_relation(plan, name="quotient")
+    wall = time.perf_counter() - started
+    cpu_delta = ctx.cpu.delta_since(cpu_before)
+    io_ms = ctx.io_stats.cost_since(io_before)
+    return DivisionRun(
+        strategy=strategy,
+        dividend_tuples=stored_dividend.record_count,
+        divisor_tuples=stored_divisor.record_count,
+        quotient_tuples=len(quotient),
+        cpu_ms=units.cpu_cost_ms(cpu_delta),
+        io_ms=io_ms,
+        wall_seconds=wall,
+        io_detail={
+            name: counters.transfers
+            for name, counters in ctx.io_stats.devices.items()
+        },
+    )
+
+
+def run_strategy_on_relations(
+    strategy: str,
+    dividend: Relation,
+    divisor: Relation,
+    expected_quotient: int = 0,
+    duplicate_free_inputs: bool = True,
+    memory_budget: int | None = None,
+    units: CostUnits = PAPER_UNITS,
+) -> DivisionRun:
+    """Run one strategy on in-memory relations via a fresh cold context.
+
+    The relations are stored on a fresh simulated disk (cold: all
+    buffered pages dropped), then the strategy runs over file scans --
+    the exact setup of the paper's experiments.
+    """
+    ctx = ExecContext(memory_budget=memory_budget)
+    catalog = Catalog(ctx.pool, ctx.data_disk)
+    catalog.store(dividend, name="dividend", cold=True)
+    catalog.store(divisor, name="divisor", cold=True)
+    # Storing is setup, not the measured experiment: reset the meters.
+    ctx.reset_meters()
+    return run_strategy(
+        strategy,
+        ctx,
+        catalog,
+        "dividend",
+        "divisor",
+        expected_quotient=expected_quotient,
+        duplicate_free_inputs=duplicate_free_inputs,
+        units=units,
+    )

@@ -1,0 +1,24 @@
+"""Table 1: the analytical cost units.
+
+A constants table, regenerated from :class:`repro.costmodel.units.CostUnits`
+so the experiment index covers every table of the paper.
+"""
+
+from __future__ import annotations
+
+from repro.costmodel.units import PAPER_UNITS, CostUnits
+from repro.experiments.report import render_table
+
+
+def rows(units: CostUnits = PAPER_UNITS) -> list[tuple[str, float, str]]:
+    """Rows of Table 1: (unit, ms, description)."""
+    return units.as_table()
+
+
+def render(units: CostUnits = PAPER_UNITS) -> str:
+    """Formatted Table 1."""
+    return render_table(
+        ("Unit", "ms", "Description"),
+        rows(units),
+        title="Table 1. Cost Units.",
+    )

@@ -1,0 +1,67 @@
+"""Table 2: the analytical cost of division.
+
+Recomputes all nine (|S|, |Q|) size points with the Section 4 formulas
+and reports them next to the paper's printed figures.  The formulas
+reproduce every printed cell to rounding (worst deviation < 0.02%);
+see EXPERIMENTS.md for the two reverse-engineered details (merge-pass
+count, composition of the sort-aggregation-with-join column).
+"""
+
+from __future__ import annotations
+
+from repro.costmodel.scenarios import TABLE2_COLUMNS, table2_grid
+from repro.costmodel.units import CostUnits, PAPER_UNITS
+from repro.experiments.report import render_table
+
+
+def rows(units: CostUnits = PAPER_UNITS) -> list[dict]:
+    """One dict per size point: sizes, computed ms, paper ms, deviation."""
+    out = []
+    for entry in table2_grid(units):
+        computed = {
+            column: entry["costs"][column].total_ms for column in TABLE2_COLUMNS
+        }
+        deviation = {
+            column: abs(computed[column] - entry["paper"][column])
+            / entry["paper"][column]
+            for column in TABLE2_COLUMNS
+        }
+        out.append(
+            {
+                "S": entry["S"],
+                "Q": entry["Q"],
+                "computed": computed,
+                "paper": entry["paper"],
+                "deviation": deviation,
+            }
+        )
+    return out
+
+
+def max_deviation(units: CostUnits = PAPER_UNITS) -> float:
+    """Worst relative deviation from the printed table (fraction)."""
+    return max(
+        value for entry in rows(units) for value in entry["deviation"].values()
+    )
+
+
+def render(units: CostUnits = PAPER_UNITS) -> str:
+    """Formatted Table 2 with the paper's figures interleaved."""
+    table_rows = []
+    for entry in rows(units):
+        table_rows.append(
+            [
+                entry["S"],
+                entry["Q"],
+                "computed",
+                *[round(entry["computed"][c]) for c in TABLE2_COLUMNS],
+            ]
+        )
+        table_rows.append(
+            ["", "", "paper", *[entry["paper"][c] for c in TABLE2_COLUMNS]]
+        )
+    return render_table(
+        ("|S|", "|Q|", "source", *TABLE2_COLUMNS),
+        table_rows,
+        title="Table 2. Analytical Cost of Division (ms).",
+    )

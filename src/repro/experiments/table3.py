@@ -1,0 +1,31 @@
+"""Table 3: the experimental I/O cost weights.
+
+The weights the simulated disk statistics are priced with; regenerated
+from :class:`repro.storage.stats.IoWeights` so a change to the weights
+is visible in the experiment output.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.report import render_table
+from repro.storage.stats import IoWeights
+
+
+def rows(weights: IoWeights | None = None) -> list[tuple[float, str]]:
+    """Rows of Table 3: (ms, cost description)."""
+    w = weights or IoWeights()
+    return [
+        (w.seek_ms, "Physical seek on device"),
+        (w.latency_ms_per_transfer, "Rotational latency per transfer"),
+        (w.transfer_ms_per_kib, "Transfer time per KByte"),
+        (w.cpu_ms_per_transfer, "CPU cost per transfer"),
+    ]
+
+
+def render(weights: IoWeights | None = None) -> str:
+    """Formatted Table 3."""
+    return render_table(
+        ("ms", "Cost"),
+        rows(weights),
+        title="Table 3. Experimental I/O Cost Weights.",
+    )

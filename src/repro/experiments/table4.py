@@ -1,0 +1,156 @@
+"""Table 4: the experimental comparison, on the simulated stack.
+
+For each of the paper's nine (|S|, |Q|) size points and six strategies,
+generates the ``R = Q × S`` workload, stores it cold on the simulated
+disk, runs the strategy's real operator pipeline, and reports model
+milliseconds (Table 1 CPU weights + Table 3 I/O weights).
+
+The absolute numbers are not the paper's MicroVAX numbers and are not
+meant to be; what must reproduce -- and is asserted by the tests and
+summarized in EXPERIMENTS.md -- is the *shape*:
+
+* the strategy ranking at every size point (hash-based beats
+  sort-based; a preceding semi-join makes aggregation inferior to the
+  direct algorithms),
+* hash-division close to hash-aggregation-without-join (paper: ~10%
+  slower) and clearly ahead of everything that sorts or joins,
+* the growing factor between fastest and slowest as sizes grow.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.costmodel.scenarios import TABLE2_SIZES
+from repro.costmodel.units import CostUnits, PAPER_UNITS
+from repro.experiments.report import render_table
+from repro.experiments.runner import STRATEGIES, DivisionRun, run_strategy_on_relations
+from repro.workloads.synthetic import make_exact_division
+
+#: The figures printed in the paper's Table 4 (MicroVAX II
+#: milliseconds), keyed by (|S|, |Q|), column order = STRATEGIES.
+PAPER_TABLE4: dict[tuple[int, int], tuple[int, ...]] = {
+    (25, 25): (978, 648, 1288, 438, 876, 482),
+    (25, 100): (4230, 2650, 5000, 1130, 2260, 1243),
+    (25, 400): (24356, 10175, 27987, 3850, 7700, 4235),
+    (100, 25): (3710, 2500, 5120, 1100, 2200, 1210),
+    (100, 100): (25305, 10847, 28393, 3750, 7500, 4125),
+    (100, 400): (108049, 42643, 115678, 14226, 28452, 15649),
+    (400, 25): (25686, 12286, 29573, 3920, 7840, 4312),
+    (400, 100): (108279, 47937, 120412, 14378, 28756, 15816),
+    (400, 400): (448470, 190745, 490765, 56094, 112188, 61703),
+}
+"""Table 4 reference figures.  The available scan of the paper
+preserves only four numeric columns per row; per the paper's own text
+those are naive, sort-agg no join, sort-agg with join ("490,765ms vs
+190,745ms" for |S|=|Q|=400), and hash-agg no join (the fastest:
+"1288ms vs 4[23]8ms").  The two missing columns are reconstructed from
+the paper's stated relationships -- hash-agg *with* join at the
+analytical 2x of the no-join column, and hash-division at the stated
+"about 10% slower than the fastest algorithm" -- so only column ranks
+and ratios, never absolute values, should be compared against them.
+EXPERIMENTS.md documents the reconstruction."""
+
+#: How many leading columns of PAPER_TABLE4 are verbatim from the scan;
+#: the remaining two are reconstructed as described above.
+VERBATIM_COLUMNS = 4
+
+
+@dataclass
+class Table4Row:
+    """All six strategy runs for one size point."""
+
+    divisor_tuples: int
+    quotient_tuples: int
+    runs: dict
+
+    def total_ms(self, strategy: str) -> float:
+        """Model milliseconds of one strategy."""
+        return self.runs[strategy].total_ms
+
+
+def run_point(
+    divisor_tuples: int,
+    quotient_tuples: int,
+    strategies: tuple[str, ...] = STRATEGIES,
+    units: CostUnits = PAPER_UNITS,
+    seed: int = 0,
+) -> Table4Row:
+    """Run all strategies for one (|S|, |Q|) size point."""
+    runs: dict[str, DivisionRun] = {}
+    for strategy in strategies:
+        dividend, divisor = make_exact_division(
+            divisor_tuples, quotient_tuples, seed=seed
+        )
+        runs[strategy] = run_strategy_on_relations(
+            strategy,
+            dividend,
+            divisor,
+            expected_quotient=quotient_tuples,
+            duplicate_free_inputs=True,
+            units=units,
+        )
+    return Table4Row(divisor_tuples, quotient_tuples, runs)
+
+
+def rows(
+    sizes: tuple[tuple[int, int], ...] = TABLE2_SIZES,
+    strategies: tuple[str, ...] = STRATEGIES,
+    units: CostUnits = PAPER_UNITS,
+) -> list[Table4Row]:
+    """Run the full grid (expensive: the largest point divides a
+    160,000-tuple dividend six times)."""
+    return [run_point(s, q, strategies, units) for s, q in sizes]
+
+
+def render_breakdown(
+    table_rows: list[Table4Row], strategies: tuple[str, ...] = STRATEGIES
+) -> str:
+    """CPU/I-O breakdown per strategy and size point.
+
+    The split is where the paper's buffer-effect observations live: at
+    small sizes everything is CPU (the dividend stays buffered); the
+    sort-based strategies grow an I/O component once runs spill.
+    """
+    out_rows = []
+    for row in table_rows:
+        for strategy in strategies:
+            run = row.runs[strategy]
+            out_rows.append(
+                (
+                    row.divisor_tuples,
+                    row.quotient_tuples,
+                    strategy,
+                    run.cpu_ms,
+                    run.io_ms,
+                    run.total_ms,
+                )
+            )
+    return render_table(
+        ("|S|", "|Q|", "strategy", "cpu ms", "io ms", "total ms"),
+        out_rows,
+        title="Table 4 breakdown: model CPU vs model I/O.",
+    )
+
+
+def render(table_rows: list[Table4Row], strategies: tuple[str, ...] = STRATEGIES) -> str:
+    """Formatted Table 4 (measured model ms, paper ms interleaved when
+    the size point is one of the paper's)."""
+    out_rows = []
+    for row in table_rows:
+        out_rows.append(
+            [
+                row.divisor_tuples,
+                row.quotient_tuples,
+                "measured",
+                *[round(row.total_ms(s)) for s in strategies],
+            ]
+        )
+        paper = PAPER_TABLE4.get((row.divisor_tuples, row.quotient_tuples))
+        if paper is not None and strategies == STRATEGIES:
+            out_rows.append(["", "", "paper", *paper])
+    return render_table(
+        ("|S|", "|Q|", "source", *strategies),
+        out_rows,
+        title="Table 4. Experimental Cost of Division (model ms).",
+    )

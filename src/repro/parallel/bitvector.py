@@ -1,0 +1,78 @@
+"""Bit-vector filters (Babb 1979), used to cut dividend network traffic.
+
+Section 6: "The bit vector can be used to avoid shipping tuples for
+which no divisor record exists ... the selection of tuples is only a
+heuristic" -- a non-divisor tuple can erroneously pass when it hashes
+to the same bit as a divisor value ("an agriculture course ... if it
+maps to the same bit as one of the database courses"), but no matching
+tuple is ever dropped.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.core.bitmap import Bitmap
+from repro.metering import CpuCounters
+
+
+class BitVectorFilter:
+    """A one-hash Bloom-style filter over tuple keys.
+
+    Args:
+        bits: Filter width; more bits, fewer false positives.  The
+            filter itself is what gets broadcast, so its size is the
+            traffic trade-off the benchmarks sweep.
+        cpu: Optional counters; insert/test charge one ``Hash`` and one
+            ``Bit`` each.
+    """
+
+    def __init__(self, bits: int, cpu: CpuCounters | None = None) -> None:
+        if bits <= 0:
+            raise ValueError(f"bit-vector width must be positive, got {bits}")
+        self.bits = bits
+        self.cpu = cpu
+        self._bitmap = Bitmap(bits, cpu=cpu)
+        self._inserted = 0
+
+    @classmethod
+    def built_from(
+        cls, keys: Iterable[tuple], bits: int, cpu: CpuCounters | None = None
+    ) -> "BitVectorFilter":
+        """Build a filter containing every key in ``keys``."""
+        bit_vector = cls(bits, cpu=cpu)
+        for key in keys:
+            bit_vector.insert(key)
+        return bit_vector
+
+    @property
+    def size_bytes(self) -> int:
+        """Bytes shipped when the filter is broadcast."""
+        return self._bitmap.size_bytes
+
+    @property
+    def fill_ratio(self) -> float:
+        """Fraction of bits set -- the false-positive probability of a
+        one-hash filter."""
+        return self._bitmap.set_count / self.bits
+
+    def _position(self, key: tuple) -> int:
+        if self.cpu is not None:
+            self.cpu.hashes += 1
+        return hash(key) % self.bits
+
+    def insert(self, key: tuple) -> None:
+        """Add one key."""
+        self._bitmap.set(self._position(key))
+        self._inserted += 1
+
+    def may_contain(self, key: tuple) -> bool:
+        """True when ``key`` *might* have been inserted (no false
+        negatives; false positives at roughly :attr:`fill_ratio`)."""
+        return self._bitmap.test(self._position(key))
+
+    def __repr__(self) -> str:
+        return (
+            f"<BitVectorFilter {self.bits} bits, fill {self.fill_ratio:.2%}, "
+            f"{self._inserted} keys>"
+        )

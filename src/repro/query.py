@@ -1,0 +1,215 @@
+"""A query layer with the paper's proposed ``contains`` construct.
+
+The paper closes with a language recommendation: since "it is much
+easier to implement a query optimizer that rewrites a division operator
+into an aggregation operator than vice versa, universal quantification
+should be included as a language construct in database query languages,
+e.g., as a 'contains' clause" (Section 5.2).
+
+:class:`Query` is that construct, in miniature::
+
+    from repro.query import Query
+
+    q = (
+        Query(transcript)
+        .project("student_id", "course_no")
+        .contains(
+            Query(courses)
+            .where(AttributeContains("title", "database"))
+            .project("course_no")
+        )
+    )
+    students = q.run()
+
+``contains`` compiles to relational division, and -- this is the point
+of routing it through a language construct -- the planner *knows* it is
+a division: it feeds the actual input statistics to the cost advisor,
+including whether the divisor side was restricted by a ``where`` (which
+disqualifies the no-join counting strategies) and whether duplicates
+are possible (bag projections), and runs the cheapest correct
+algorithm.  ``explain()`` shows the decision.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import DivisionError
+from repro.core.divide import _ADVISOR_DISPATCH, divide
+from repro.costmodel.advisor import DivisionEstimates, choose_strategy
+from repro.executor.iterator import ExecContext
+from repro.relalg import algebra
+from repro.relalg.predicates import Predicate
+from repro.relalg.relation import Relation
+from repro.relalg.tuples import projector
+
+
+@dataclass(frozen=True)
+class _Step:
+    kind: str  # "where" | "project" | "distinct"
+    predicate: Predicate | None = None
+    names: tuple[str, ...] = ()
+
+
+class Query:
+    """A tiny immutable pipeline of select/project steps over a relation.
+
+    Every combinator returns a new ``Query``; nothing executes until
+    :meth:`run` (or until the query is consumed by ``contains``).
+    """
+
+    def __init__(self, relation: Relation, _steps: tuple[_Step, ...] = ()) -> None:
+        self.relation = relation
+        self._steps = _steps
+
+    # -- combinators ---------------------------------------------------
+
+    def where(self, predicate: Predicate) -> "Query":
+        """σ: restrict by a predicate."""
+        return Query(self.relation, self._steps + (_Step("where", predicate=predicate),))
+
+    def project(self, *names: str) -> "Query":
+        """π (bag semantics): keep the named attributes."""
+        return Query(self.relation, self._steps + (_Step("project", names=names),))
+
+    def distinct(self) -> "Query":
+        """Eliminate duplicate rows."""
+        return Query(self.relation, self._steps + (_Step("distinct"),))
+
+    def contains(self, divisor: "Query") -> "ContainsQuery":
+        """∀: keep the groups that contain *every* divisor tuple.
+
+        The divisor's attributes name the universally quantified
+        columns; the remaining attributes of this query form the
+        result.  Compiles to relational division.
+        """
+        return ContainsQuery(self, divisor)
+
+    # -- execution ---------------------------------------------------------
+
+    @property
+    def is_restricted(self) -> bool:
+        """True when a ``where`` step restricts the pipeline -- the
+        signal that division-by-counting would need a semi-join."""
+        return any(step.kind == "where" for step in self._steps)
+
+    def run(self, name: str = "") -> Relation:
+        """Evaluate the pipeline to a relation."""
+        current = self.relation
+        for step in self._steps:
+            if step.kind == "where":
+                assert step.predicate is not None
+                current = algebra.select(current, step.predicate)
+            elif step.kind == "project":
+                current = algebra.project(current, step.names, distinct=False)
+            elif step.kind == "distinct":
+                current = current.distinct()
+        return current.rename(name) if name else current
+
+    def describe(self) -> str:
+        """One-line pipeline description."""
+        parts = [self.relation.name or "relation"]
+        for step in self._steps:
+            if step.kind == "where":
+                parts.append(f"where({step.predicate!r})")
+            elif step.kind == "project":
+                parts.append(f"project({', '.join(step.names)})")
+            else:
+                parts.append("distinct()")
+        return " . ".join(parts)
+
+
+@dataclass
+class ContainsPlan:
+    """The planner's decision for one ``contains`` evaluation."""
+
+    strategy: str
+    estimates: DivisionEstimates
+    quotient_names: tuple[str, ...] = field(default_factory=tuple)
+
+    def render(self) -> str:
+        lines = [
+            f"ForAll (contains) -> relational division via {self.strategy!r}",
+            f"  dividend: ~{self.estimates.dividend_tuples} tuples",
+            f"  divisor:  ~{self.estimates.divisor_tuples} tuples"
+            + (" (restricted)" if self.estimates.divisor_restricted else ""),
+            f"  quotient: {', '.join(self.quotient_names)}"
+            f" (~{self.estimates.estimated_quotient} tuples)",
+        ]
+        if self.estimates.may_contain_duplicates:
+            lines.append("  duplicates possible: counting needs preprocessing")
+        return "\n".join(lines)
+
+
+class ContainsQuery:
+    """A planned universal quantification: dividend ``contains`` divisor."""
+
+    def __init__(self, dividend: Query, divisor: Query) -> None:
+        self.dividend = dividend
+        self.divisor = divisor
+
+    def plan(
+        self,
+        dividend_relation: Relation | None = None,
+        divisor_relation: Relation | None = None,
+    ) -> ContainsPlan:
+        """Pick the division strategy from the (evaluated) inputs."""
+        dividend_relation = (
+            dividend_relation if dividend_relation is not None else self.dividend.run()
+        )
+        divisor_relation = (
+            divisor_relation if divisor_relation is not None else self.divisor.run()
+        )
+        quotient_names, _ = algebra.division_attribute_split(
+            dividend_relation, divisor_relation
+        )
+        quotient_of = projector(dividend_relation.schema, quotient_names)
+        estimates = DivisionEstimates(
+            dividend_tuples=len(dividend_relation),
+            divisor_tuples=len(set(divisor_relation.rows)),
+            quotient_tuples=len({quotient_of(row) for row in dividend_relation}),
+            divisor_restricted=self.divisor.is_restricted,
+            may_contain_duplicates=(
+                dividend_relation.has_duplicates()
+                or divisor_relation.has_duplicates()
+            ),
+        )
+        return ContainsPlan(
+            strategy=choose_strategy(estimates).strategy,
+            estimates=estimates,
+            quotient_names=quotient_names,
+        )
+
+    def run(self, ctx: ExecContext | None = None, name: str = "quotient") -> Relation:
+        """Evaluate both sides, plan, and execute the division."""
+        dividend_relation = self.dividend.run()
+        divisor_relation = self.divisor.run()
+        plan = self.plan(dividend_relation, divisor_relation)
+        try:
+            algorithm, options = _ADVISOR_DISPATCH[plan.strategy]
+        except KeyError:  # pragma: no cover - advisor names are closed
+            raise DivisionError(f"unplannable strategy {plan.strategy!r}")
+        if algorithm in ("sort-aggregate", "hash-aggregate"):
+            options = dict(
+                options,
+                eliminate_duplicates=plan.estimates.may_contain_duplicates,
+            )
+        return divide(
+            dividend_relation,
+            divisor_relation,
+            algorithm=algorithm,
+            ctx=ctx,
+            name=name,
+            **options,
+        )
+
+    def explain(self) -> str:
+        """The textual plan: pipelines, the decision, and why."""
+        plan = self.plan()
+        return "\n".join(
+            [
+                f"dividend: {self.dividend.describe()}",
+                f"divisor:  {self.divisor.describe()}",
+                plan.render(),
+            ]
+        )

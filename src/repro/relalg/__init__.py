@@ -1,0 +1,46 @@
+"""Relational model and in-memory algebra.
+
+This package provides the data model every other layer is built on:
+
+* :mod:`repro.relalg.schema` -- attributes, types, schemas, and the
+  fixed-size binary record codec used by the storage layer,
+* :mod:`repro.relalg.tuples` -- positional helpers (projections, key
+  extractors) shared by the executor operators,
+* :mod:`repro.relalg.relation` -- the :class:`Relation` container with
+  bag (multiset) semantics,
+* :mod:`repro.relalg.predicates` -- composable selection predicates,
+* :mod:`repro.relalg.algebra` -- a small, obviously-correct in-memory
+  relational algebra used as the correctness oracle for the storage-
+  backed operators (in particular the algebraic identity for division).
+"""
+
+from repro.relalg.schema import Attribute, DataType, RecordCodec, Schema
+from repro.relalg.relation import Relation
+from repro.relalg.predicates import (
+    AndPredicate,
+    AttributeEquals,
+    AttributeIn,
+    ComparisonPredicate,
+    NotPredicate,
+    OrPredicate,
+    Predicate,
+    TruePredicate,
+)
+from repro.relalg import algebra
+
+__all__ = [
+    "Attribute",
+    "DataType",
+    "RecordCodec",
+    "Schema",
+    "Relation",
+    "Predicate",
+    "TruePredicate",
+    "AttributeEquals",
+    "AttributeIn",
+    "ComparisonPredicate",
+    "AndPredicate",
+    "OrPredicate",
+    "NotPredicate",
+    "algebra",
+]

@@ -1,0 +1,157 @@
+"""Composable selection predicates.
+
+A :class:`Predicate` is compiled against a schema once (resolving
+attribute names to positions) and then evaluated per row.  The paper's
+second running example restricts the divisor with a prior selection
+("courses whose title contains 'database'"); predicates are how that
+restriction is expressed in this library.
+"""
+
+from __future__ import annotations
+
+import operator
+from dataclasses import dataclass
+from typing import Any, Callable, Iterable
+
+from repro.errors import SchemaError
+from repro.relalg.schema import Schema
+from repro.relalg.tuples import Row
+
+RowTest = Callable[[Row], bool]
+
+_OPERATORS: dict[str, Callable[[Any, Any], bool]] = {
+    "==": operator.eq,
+    "!=": operator.ne,
+    "<": operator.lt,
+    "<=": operator.le,
+    ">": operator.gt,
+    ">=": operator.ge,
+}
+
+
+class Predicate:
+    """Base class: a boolean condition over rows of some schema."""
+
+    def compile(self, schema: Schema) -> RowTest:
+        """Resolve attribute names against ``schema`` and return a fast
+        per-row test function."""
+        raise NotImplementedError
+
+    def __and__(self, other: "Predicate") -> "Predicate":
+        return AndPredicate(self, other)
+
+    def __or__(self, other: "Predicate") -> "Predicate":
+        return OrPredicate(self, other)
+
+    def __invert__(self) -> "Predicate":
+        return NotPredicate(self)
+
+
+@dataclass(frozen=True)
+class TruePredicate(Predicate):
+    """Accepts every row; the default for unrestricted scans."""
+
+    def compile(self, schema: Schema) -> RowTest:
+        return lambda row: True
+
+
+@dataclass(frozen=True)
+class AttributeEquals(Predicate):
+    """``attribute == constant``."""
+
+    attribute: str
+    value: Any
+
+    def compile(self, schema: Schema) -> RowTest:
+        position = schema.position_of(self.attribute)
+        value = self.value
+        return lambda row: row[position] == value
+
+
+@dataclass(frozen=True)
+class ComparisonPredicate(Predicate):
+    """``attribute <op> constant`` for ``op`` in ==, !=, <, <=, >, >=."""
+
+    attribute: str
+    op: str
+    value: Any
+
+    def __post_init__(self) -> None:
+        if self.op not in _OPERATORS:
+            raise SchemaError(
+                f"unknown comparison operator {self.op!r}; "
+                f"expected one of {sorted(_OPERATORS)}"
+            )
+
+    def compile(self, schema: Schema) -> RowTest:
+        position = schema.position_of(self.attribute)
+        compare = _OPERATORS[self.op]
+        value = self.value
+        return lambda row: compare(row[position], value)
+
+
+@dataclass(frozen=True)
+class AttributeContains(Predicate):
+    """``substring in attribute`` -- the paper's "title contains
+    'database'" restriction on the divisor (Section 2)."""
+
+    attribute: str
+    substring: str
+
+    def compile(self, schema: Schema) -> RowTest:
+        position = schema.position_of(self.attribute)
+        needle = self.substring
+        return lambda row: needle in row[position]
+
+
+class AttributeIn(Predicate):
+    """``attribute IN constants`` (membership in a literal set)."""
+
+    def __init__(self, attribute: str, values: Iterable[Any]) -> None:
+        self.attribute = attribute
+        self.values = frozenset(values)
+
+    def compile(self, schema: Schema) -> RowTest:
+        position = schema.position_of(self.attribute)
+        values = self.values
+        return lambda row: row[position] in values
+
+    def __repr__(self) -> str:
+        return f"AttributeIn({self.attribute!r}, {sorted(self.values)!r})"
+
+
+@dataclass(frozen=True)
+class AndPredicate(Predicate):
+    """Conjunction of two predicates."""
+
+    left: Predicate
+    right: Predicate
+
+    def compile(self, schema: Schema) -> RowTest:
+        left = self.left.compile(schema)
+        right = self.right.compile(schema)
+        return lambda row: left(row) and right(row)
+
+
+@dataclass(frozen=True)
+class OrPredicate(Predicate):
+    """Disjunction of two predicates."""
+
+    left: Predicate
+    right: Predicate
+
+    def compile(self, schema: Schema) -> RowTest:
+        left = self.left.compile(schema)
+        right = self.right.compile(schema)
+        return lambda row: left(row) or right(row)
+
+
+@dataclass(frozen=True)
+class NotPredicate(Predicate):
+    """Negation of a predicate."""
+
+    inner: Predicate
+
+    def compile(self, schema: Schema) -> RowTest:
+        inner = self.inner.compile(schema)
+        return lambda row: not inner(row)

@@ -1,0 +1,143 @@
+"""The :class:`Relation` container.
+
+A relation is a schema plus a *bag* (multiset) of tuples.  Bag
+semantics matter for this paper: three of the four division algorithms
+require duplicate-free inputs, while hash-division tolerates duplicates
+in both inputs (Section 3.3).  Keeping duplicates representable lets
+the test suite exercise exactly those claims.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Any, Callable, Iterable, Iterator, Sequence
+
+from repro.errors import SchemaError
+from repro.relalg.schema import Schema
+from repro.relalg.tuples import Row, projector
+
+
+class Relation:
+    """A named bag of tuples conforming to one schema.
+
+    The container is deliberately simple -- a list of tuples -- because
+    the interesting physical behaviour (pages, buffering, I/O) lives in
+    :mod:`repro.storage`.  ``Relation`` is the boundary type users hand
+    to :func:`repro.divide` and get back from it.
+    """
+
+    __slots__ = ("schema", "name", "_rows")
+
+    def __init__(
+        self,
+        schema: Schema,
+        rows: Iterable[Row] = (),
+        name: str = "",
+    ) -> None:
+        self.schema = schema
+        self.name = name
+        self._rows: list[Row] = []
+        arity = len(schema)
+        for row in rows:
+            if len(row) != arity:
+                raise SchemaError(
+                    f"row {row!r} has arity {len(row)}, schema expects {arity}"
+                )
+            self._rows.append(tuple(row))
+
+    @classmethod
+    def of_ints(cls, names: Sequence[str], rows: Iterable[Row], name: str = "") -> "Relation":
+        """Build an all-integer relation -- the paper's record shape."""
+        return cls(Schema.of_ints(*names), rows, name=name)
+
+    # -- container protocol -------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __iter__(self) -> Iterator[Row]:
+        return iter(self._rows)
+
+    def __bool__(self) -> bool:
+        return bool(self._rows)
+
+    def __repr__(self) -> str:
+        label = self.name or "Relation"
+        return f"<{label} {self.schema!r} with {len(self)} tuples>"
+
+    # -- content access ------------------------------------------------
+
+    @property
+    def rows(self) -> list[Row]:
+        """The tuples, in insertion order (a live list; treat as read-only)."""
+        return self._rows
+
+    def append(self, row: Row) -> None:
+        """Add one tuple (arity-checked)."""
+        if len(row) != len(self.schema):
+            raise SchemaError(
+                f"row {row!r} has arity {len(row)}, schema expects {len(self.schema)}"
+            )
+        self._rows.append(tuple(row))
+
+    def extend(self, rows: Iterable[Row]) -> None:
+        """Add several tuples (arity-checked)."""
+        for row in rows:
+            self.append(row)
+
+    def column(self, name: str) -> list[Any]:
+        """All values of one attribute, in row order."""
+        position = self.schema.position_of(name)
+        return [row[position] for row in self._rows]
+
+    # -- bag/set comparisons --------------------------------------------
+
+    def as_bag(self) -> Counter:
+        """Multiset view of the tuples (for order-insensitive equality)."""
+        return Counter(self._rows)
+
+    def as_set(self) -> frozenset:
+        """Set view of the tuples, discarding multiplicity."""
+        return frozenset(self._rows)
+
+    def bag_equal(self, other: "Relation") -> bool:
+        """True when both relations hold the same tuples with the same
+        multiplicities (order-insensitive)."""
+        return self.schema == other.schema and self.as_bag() == other.as_bag()
+
+    def set_equal(self, other: "Relation") -> bool:
+        """True when both relations hold the same distinct tuples."""
+        return self.schema == other.schema and self.as_set() == other.as_set()
+
+    def has_duplicates(self) -> bool:
+        """True when at least one tuple occurs more than once."""
+        return len(self._rows) != len(set(self._rows))
+
+    # -- convenience transformations -------------------------------------
+
+    def distinct(self, name: str = "") -> "Relation":
+        """A duplicate-free copy, preserving first-occurrence order."""
+        return Relation(
+            self.schema, dict.fromkeys(self._rows), name=name or self.name
+        )
+
+    def sorted_by(self, names: Sequence[str], name: str = "") -> "Relation":
+        """A copy sorted on ``names`` (ascending, stable).
+
+        This is the *logical* sort used by oracles and tests; the
+        metered external sort lives in :mod:`repro.executor.sort`.
+        """
+        key = projector(self.schema, names)
+        return Relation(self.schema, sorted(self._rows, key=key), name=name or self.name)
+
+    def filter(self, keep: Callable[[Row], bool], name: str = "") -> "Relation":
+        """A copy holding only the rows for which ``keep`` is true."""
+        return Relation(
+            self.schema, (row for row in self._rows if keep(row)), name=name
+        )
+
+    def rename(self, name: str) -> "Relation":
+        """The same relation under a new name (shares the row list)."""
+        renamed = Relation(self.schema, (), name=name)
+        renamed._rows = self._rows
+        return renamed

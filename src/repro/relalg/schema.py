@@ -1,0 +1,238 @@
+"""Schemas, attribute types, and the fixed-size record codec.
+
+The paper's experiments use fixed-size records: 8 bytes for divisor and
+quotient tuples, 16 bytes for dividend tuples (Section 5.1).  This
+module models schemas as ordered sequences of typed attributes and
+provides :class:`RecordCodec`, which packs a Python tuple into exactly
+the byte layout a schema prescribes, so the storage layer stores the
+same record sizes the paper's file system did.
+"""
+
+from __future__ import annotations
+
+import enum
+import struct
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Sequence
+
+from repro.errors import SchemaError
+
+
+class DataType(enum.Enum):
+    """Attribute types supported by the record codec.
+
+    ``INT64`` is an 8-byte signed integer, ``FLOAT64`` an 8-byte IEEE
+    double, and ``STRING`` a fixed-width byte string whose width is
+    carried by the :class:`Attribute` (``size`` field).
+    """
+
+    INT64 = "int64"
+    FLOAT64 = "float64"
+    STRING = "string"
+
+
+@dataclass(frozen=True)
+class Attribute:
+    """A named, typed column.
+
+    Args:
+        name: Column name, unique within a schema.
+        dtype: Value type.
+        size: Byte width; required only for ``STRING`` attributes.
+              ``INT64`` and ``FLOAT64`` are always 8 bytes.
+    """
+
+    name: str
+    dtype: DataType = DataType.INT64
+    size: int = 8
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise SchemaError("attribute name must be non-empty")
+        if self.dtype in (DataType.INT64, DataType.FLOAT64) and self.size != 8:
+            raise SchemaError(
+                f"attribute {self.name!r}: {self.dtype.value} is always 8 bytes, "
+                f"got size={self.size}"
+            )
+        if self.dtype is DataType.STRING and self.size <= 0:
+            raise SchemaError(
+                f"attribute {self.name!r}: string attributes need a positive size"
+            )
+
+    @property
+    def struct_format(self) -> str:
+        """The ``struct`` format fragment encoding this attribute."""
+        if self.dtype is DataType.INT64:
+            return "q"
+        if self.dtype is DataType.FLOAT64:
+            return "d"
+        return f"{self.size}s"
+
+
+class Schema:
+    """An ordered, immutable sequence of uniquely named attributes.
+
+    A schema maps attribute names to positions and exposes convenience
+    constructors for the projections the division operator needs
+    (quotient attributes, divisor attributes).
+    """
+
+    __slots__ = ("_attributes", "_index")
+
+    def __init__(self, attributes: Iterable[Attribute]) -> None:
+        attrs = tuple(attributes)
+        if not attrs:
+            raise SchemaError("a schema needs at least one attribute")
+        index: dict[str, int] = {}
+        for position, attribute in enumerate(attrs):
+            if attribute.name in index:
+                raise SchemaError(f"duplicate attribute name {attribute.name!r}")
+            index[attribute.name] = position
+        self._attributes = attrs
+        self._index = index
+
+    @classmethod
+    def of_ints(cls, *names: str) -> "Schema":
+        """Build a schema of 8-byte integer attributes -- the record
+        shape used throughout the paper's experiments."""
+        return cls(Attribute(name) for name in names)
+
+    # -- basic container protocol ------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._attributes)
+
+    def __iter__(self) -> Iterator[Attribute]:
+        return iter(self._attributes)
+
+    def __getitem__(self, item: int | str) -> Attribute:
+        if isinstance(item, str):
+            return self._attributes[self.position_of(item)]
+        return self._attributes[item]
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._index
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Schema):
+            return NotImplemented
+        return self._attributes == other._attributes
+
+    def __hash__(self) -> int:
+        return hash(self._attributes)
+
+    def __repr__(self) -> str:
+        cols = ", ".join(f"{a.name}:{a.dtype.value}" for a in self._attributes)
+        return f"Schema({cols})"
+
+    # -- name/position mapping ---------------------------------------
+
+    @property
+    def names(self) -> tuple[str, ...]:
+        """Attribute names in schema order."""
+        return tuple(a.name for a in self._attributes)
+
+    def position_of(self, name: str) -> int:
+        """Return the position of ``name``, raising
+        :class:`~repro.errors.SchemaError` if absent."""
+        try:
+            return self._index[name]
+        except KeyError:
+            raise SchemaError(
+                f"attribute {name!r} not in schema {self.names}"
+            ) from None
+
+    def positions_of(self, names: Sequence[str]) -> tuple[int, ...]:
+        """Return positions for several names, preserving their order."""
+        return tuple(self.position_of(name) for name in names)
+
+    # -- derived schemas ----------------------------------------------
+
+    def project(self, names: Sequence[str]) -> "Schema":
+        """Schema of a projection onto ``names`` (in the given order)."""
+        return Schema(self[name] for name in names)
+
+    def complement(self, names: Sequence[str]) -> "Schema":
+        """Schema of the attributes *not* in ``names``, in schema order.
+
+        For a division ``R(quotient ∪ divisor) ÷ S(divisor)``, the
+        quotient schema is ``R.schema.complement(S.schema.names)``.
+        """
+        excluded = set(names)
+        missing = excluded - set(self.names)
+        if missing:
+            raise SchemaError(f"attributes {sorted(missing)} not in schema {self.names}")
+        remaining = [a for a in self._attributes if a.name not in excluded]
+        if not remaining:
+            raise SchemaError("complement would produce an empty schema")
+        return Schema(remaining)
+
+    def concat(self, other: "Schema") -> "Schema":
+        """Schema of the concatenation of two tuples (Cartesian product)."""
+        return Schema(tuple(self._attributes) + tuple(other._attributes))
+
+    # -- physical layout ----------------------------------------------
+
+    @property
+    def record_size(self) -> int:
+        """Fixed record size in bytes for tuples of this schema."""
+        return sum(a.size for a in self._attributes)
+
+    def codec(self) -> "RecordCodec":
+        """Return a codec that (de)serializes tuples of this schema."""
+        return RecordCodec(self)
+
+
+class RecordCodec:
+    """Fixed-size binary (de)serializer for tuples of one schema.
+
+    Records are packed with ``struct`` using little-endian layout and
+    no padding, so a divisor schema of one ``INT64`` yields exactly the
+    paper's 8-byte records and a two-integer dividend schema yields
+    16-byte records.
+    """
+
+    __slots__ = ("schema", "_struct", "_string_positions")
+
+    def __init__(self, schema: Schema) -> None:
+        self.schema = schema
+        fmt = "<" + "".join(a.struct_format for a in schema)
+        self._struct = struct.Struct(fmt)
+        self._string_positions = tuple(
+            i for i, a in enumerate(schema) if a.dtype is DataType.STRING
+        )
+
+    @property
+    def record_size(self) -> int:
+        """Bytes per encoded record."""
+        return self._struct.size
+
+    def encode(self, row: tuple) -> bytes:
+        """Pack one tuple into its fixed-size binary record."""
+        if len(row) != len(self.schema):
+            raise SchemaError(
+                f"tuple arity {len(row)} does not match schema arity {len(self.schema)}"
+            )
+        if not self._string_positions:
+            return self._struct.pack(*row)
+        values = list(row)
+        for position in self._string_positions:
+            value = values[position]
+            if isinstance(value, str):
+                value = value.encode("utf-8")
+            values[position] = value
+        return self._struct.pack(*values)
+
+    def decode(self, record: bytes | memoryview) -> tuple:
+        """Unpack one binary record back into a Python tuple.
+
+        String attributes are returned stripped of NUL padding and
+        decoded as UTF-8.
+        """
+        values = self._struct.unpack(record)
+        if not self._string_positions:
+            return values
+        out = list(values)
+        for position in self._string_positions:
+            out[position] = out[position].rstrip(b"\x00").decode("utf-8")
+        return tuple(out)

@@ -1,0 +1,54 @@
+"""Simulated record-oriented file system (the paper's Section 5.1 substrate).
+
+The original experiments ran "on top of a record-oriented file system
+developed at the Oregon Graduate Center using experiences from WiSS and
+GAMMA. It simulates a disk using a UNIX file or main memory."  This
+package rebuilds those services:
+
+* :mod:`repro.storage.disk` -- a page-addressed simulated disk that
+  counts seeks, transfers, and bytes moved,
+* :mod:`repro.storage.stats` -- the Table 3 cost weights that convert
+  those counts to model milliseconds,
+* :mod:`repro.storage.buffer` -- a fix/unfix buffer manager with LRU
+  replacement, dynamic growth, and *virtual devices* for intermediate
+  results,
+* :mod:`repro.storage.page` -- slotted pages,
+* :mod:`repro.storage.heapfile` -- extent-based record files with
+  record identifiers and sequential scans,
+* :mod:`repro.storage.btree` -- B+-tree indexes,
+* :mod:`repro.storage.memory` -- the main-memory pool that hash tables,
+  bit maps, and chain elements are charged against,
+* :mod:`repro.storage.catalog` -- a name -> (file, schema) registry
+  plus helpers to load :class:`~repro.relalg.relation.Relation` objects
+  into files and back.
+"""
+
+from repro.storage.config import StorageConfig
+from repro.storage.disk import SimulatedDisk
+from repro.storage.filedisk import FileBackedDisk
+from repro.storage.stats import DeviceCounters, IoStatistics, IoWeights
+from repro.storage.page import SlottedPage
+from repro.storage.buffer import BufferPool
+from repro.storage.memory import MemoryPool
+from repro.storage.heapfile import HeapFile, RecordId
+from repro.storage.btree import BPlusTree
+from repro.storage.index import SecondaryIndex
+from repro.storage.catalog import Catalog, StoredRelation
+
+__all__ = [
+    "StorageConfig",
+    "SimulatedDisk",
+    "FileBackedDisk",
+    "IoWeights",
+    "IoStatistics",
+    "DeviceCounters",
+    "SlottedPage",
+    "BufferPool",
+    "MemoryPool",
+    "HeapFile",
+    "RecordId",
+    "BPlusTree",
+    "SecondaryIndex",
+    "Catalog",
+    "StoredRelation",
+]

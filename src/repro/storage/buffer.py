@@ -1,0 +1,322 @@
+"""The buffer manager.
+
+Models the paper's buffer pool (Section 5.1):
+
+* pages are *fixed* in the pool and accessed by memory address (here, a
+  ``memoryview``); copying is avoided,
+* an *unfix* call indicates whether the page can be replaced
+  immediately (``discard=True``) or should be inserted into an LRU
+  list,
+* the pool "grows dynamically until the main memory pool is exhausted,
+  and shrinks as buffer slots are unfixed": fixing more pages than the
+  configured buffer size is allowed up to ``memory_limit``; once pages
+  are unfixed, the pool evicts back down to its configured size,
+* *virtual devices* hold intermediate results: their pages live only in
+  the pool, are never written to disk, and disappear once unfixed and
+  evicted.
+
+Physical I/O happens only on a buffer miss (read) and on eviction or
+flush of a dirty page (write), which is how the experimental runs where
+"the entire dividend relation fits into the buffer" (Section 5.2)
+naturally incur no sort I/O in the Table 4 reproduction.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+
+from repro.errors import BufferPoolError, StorageError
+from repro.storage.config import StorageConfig
+from repro.storage.disk import SimulatedDisk
+
+PageKey = tuple[str, int]
+"""(device name, page number)"""
+
+
+@dataclass
+class _Frame:
+    data: bytearray
+    fix_count: int = 0
+    dirty: bool = False
+
+
+@dataclass
+class _VirtualDevice:
+    """A device with no backing disk; pages exist only in the pool."""
+
+    name: str
+    page_size: int
+    next_page: int = 0
+    live_pages: set = field(default_factory=set)
+
+
+@dataclass
+class BufferPoolStats:
+    """Logical access statistics (hits/misses), for reporting only."""
+
+    fixes: int = 0
+    misses: int = 0
+    evictions: int = 0
+    writebacks: int = 0
+
+    @property
+    def hit_ratio(self) -> float:
+        """Fraction of fixes served without physical I/O."""
+        return 0.0 if self.fixes == 0 else 1.0 - self.misses / self.fixes
+
+
+class BufferPool:
+    """Fix/unfix buffer manager over one or more simulated devices.
+
+    Args:
+        config: Sizes and growth limits.
+    """
+
+    def __init__(self, config: StorageConfig | None = None) -> None:
+        self.config = config or StorageConfig()
+        self.stats = BufferPoolStats()
+        self._disks: dict[str, SimulatedDisk] = {}
+        self._virtuals: dict[str, _VirtualDevice] = {}
+        self._frames: dict[PageKey, _Frame] = {}
+        self._lru: OrderedDict[PageKey, None] = OrderedDict()
+        self._bytes_in_use = 0
+
+    # -- device registry -----------------------------------------------
+
+    def register_device(self, disk: SimulatedDisk) -> SimulatedDisk:
+        """Attach a simulated disk so its pages can be buffered."""
+        if disk.name in self._disks or disk.name in self._virtuals:
+            raise StorageError(f"device name {disk.name!r} already registered")
+        self._disks[disk.name] = disk
+        return disk
+
+    def create_virtual_device(self, name: str, page_size: int | None = None) -> str:
+        """Create a virtual (pool-only) device and return its name."""
+        if name in self._disks or name in self._virtuals:
+            raise StorageError(f"device name {name!r} already registered")
+        self._virtuals[name] = _VirtualDevice(
+            name, page_size or self.config.page_size
+        )
+        return name
+
+    def is_virtual(self, device: str) -> bool:
+        """True when ``device`` is a virtual (pool-only) device."""
+        return device in self._virtuals
+
+    def page_size_of(self, device: str) -> int:
+        """Page size of a registered device."""
+        if device in self._disks:
+            return self._disks[device].page_size
+        if device in self._virtuals:
+            return self._virtuals[device].page_size
+        raise StorageError(f"unknown device {device!r}")
+
+    # -- memory accounting -----------------------------------------------
+
+    @property
+    def bytes_in_use(self) -> int:
+        """Bytes of pool memory currently holding page frames."""
+        return self._bytes_in_use
+
+    def fixed_page_count(self) -> int:
+        """Frames with a non-zero fix count."""
+        return sum(1 for f in self._frames.values() if f.fix_count > 0)
+
+    # -- page lifecycle --------------------------------------------------
+
+    def new_page(self, device: str) -> tuple[int, memoryview]:
+        """Allocate a fresh page on ``device``, fixed and zeroed.
+
+        Returns ``(page_no, writable view)``.  The frame starts dirty
+        for disk devices so it reaches the disk on eviction or flush.
+        """
+        page_size = self.page_size_of(device)
+        if device in self._virtuals:
+            vdev = self._virtuals[device]
+            page_no = vdev.next_page
+            vdev.next_page += 1
+            vdev.live_pages.add(page_no)
+            frame = self._install(device, page_no, bytearray(page_size))
+        else:
+            page_no = self._disks[device].allocate_page()
+            frame = self._install(device, page_no, bytearray(page_size))
+            frame.dirty = True
+        frame.fix_count = 1
+        self.stats.fixes += 1
+        return page_no, memoryview(frame.data)
+
+    def fix_new(self, device: str, page_no: int) -> memoryview:
+        """Fix a freshly allocated disk page without reading it.
+
+        The caller guarantees ``page_no`` was just allocated (its disk
+        contents are zeroed), so installing a zeroed frame is
+        equivalent to -- and cheaper than -- a physical read.
+        """
+        key = (device, page_no)
+        if key in self._frames:
+            return self.fix(device, page_no)
+        if device in self._virtuals:
+            raise StorageError("fix_new is for disk devices; virtual pages use new_page")
+        self.stats.fixes += 1
+        frame = self._install(device, page_no, bytearray(self.page_size_of(device)))
+        frame.fix_count = 1
+        return memoryview(frame.data)
+
+    def fix(self, device: str, page_no: int) -> memoryview:
+        """Fix a page in the pool, reading it from disk on a miss.
+
+        Returns a writable view of the frame.  Call :meth:`unfix`
+        exactly once per successful fix.
+        """
+        key = (device, page_no)
+        self.stats.fixes += 1
+        frame = self._frames.get(key)
+        if frame is not None:
+            frame.fix_count += 1
+            if key in self._lru:
+                del self._lru[key]
+            return memoryview(frame.data)
+        self.stats.misses += 1
+        if device in self._virtuals:
+            vdev = self._virtuals[device]
+            if page_no in vdev.live_pages:
+                raise BufferPoolError(
+                    f"virtual page ({device!r}, {page_no}) was evicted and is lost"
+                )
+            raise BufferPoolError(f"unknown virtual page ({device!r}, {page_no})")
+        if device not in self._disks:
+            raise StorageError(f"unknown device {device!r}")
+        data = self._disks[device].read_page(page_no)
+        frame = self._install(device, page_no, data)
+        frame.fix_count = 1
+        return memoryview(frame.data)
+
+    def unfix(self, device: str, page_no: int, dirty: bool = False, discard: bool = False) -> None:
+        """Release one fix on a page.
+
+        Args:
+            device: Device name.
+            page_no: Page number.
+            dirty: Mark the frame modified so eviction writes it back
+                (ignored for virtual devices, which have no backing).
+            discard: Hint that the page "can be replaced immediately"
+                (Section 5.1): once its fix count reaches zero the frame
+                is dropped at once -- written back first if dirty and
+                disk-backed, simply forgotten if virtual.
+        """
+        key = (device, page_no)
+        frame = self._frames.get(key)
+        if frame is None or frame.fix_count <= 0:
+            raise BufferPoolError(f"page ({device!r}, {page_no}) is not fixed")
+        if dirty:
+            frame.dirty = True
+        frame.fix_count -= 1
+        if frame.fix_count > 0:
+            return
+        if discard:
+            self._drop(key, frame, write_back=not self.is_virtual(device))
+        else:
+            self._lru[key] = None
+        self._shrink_to_target()
+
+    # -- maintenance ---------------------------------------------------------
+
+    def flush_device(self, device: str) -> None:
+        """Write back every dirty frame of a disk device (keeps frames)."""
+        if device in self._virtuals:
+            return
+        disk = self._disks[device]
+        for (dev, page_no), frame in self._frames.items():
+            if dev == device and frame.dirty:
+                disk.write_page(page_no, frame.data)
+                frame.dirty = False
+                self.stats.writebacks += 1
+
+    def forget_page(self, device: str, page_no: int) -> None:
+        """Drop one unfixed frame without write-back (dead data).
+
+        Used when a file page is freed: its contents are dead, so a
+        dirty frame must not be charged as a disk write.  A frame that
+        is still fixed raises; an absent frame is a no-op.
+        """
+        key = (device, page_no)
+        frame = self._frames.get(key)
+        if frame is None:
+            if device in self._virtuals:
+                self._virtuals[device].live_pages.discard(page_no)
+            return
+        if frame.fix_count > 0:
+            raise BufferPoolError(f"page ({device!r}, {page_no}) is still fixed")
+        self._frames.pop(key)
+        self._lru.pop(key, None)
+        self._bytes_in_use -= len(frame.data)
+        if device in self._virtuals:
+            self._virtuals[device].live_pages.discard(page_no)
+
+    def drop_device_pages(self, device: str, discard_dirty: bool = False) -> None:
+        """Evict every unfixed frame of ``device`` (a cache drop).
+
+        Dirty disk-backed frames are written back first so no data is
+        lost -- this is how experiments cool the cache between setup
+        and measurement.  Pass ``discard_dirty=True`` only when the
+        device's buffered contents are known dead (virtual frames are
+        always simply forgotten; per-page dead-data release for files
+        being destroyed uses :meth:`forget_page` instead).
+        """
+        victims = [
+            key
+            for key, frame in self._frames.items()
+            if key[0] == device and frame.fix_count == 0
+        ]
+        for key in victims:
+            frame = self._frames.pop(key)
+            self._lru.pop(key, None)
+            self._bytes_in_use -= len(frame.data)
+            if key[0] in self._virtuals:
+                self._virtuals[key[0]].live_pages.discard(key[1])
+            elif frame.dirty and not discard_dirty:
+                self._disks[device].write_page(key[1], frame.data)
+                self.stats.writebacks += 1
+
+    # -- internals ------------------------------------------------------------
+
+    def _install(self, device: str, page_no: int, data: bytearray) -> _Frame:
+        page_size = len(data)
+        self._make_room(page_size)
+        frame = _Frame(data=data)
+        self._frames[(device, page_no)] = frame
+        self._bytes_in_use += page_size
+        return frame
+
+    def _make_room(self, needed: int) -> None:
+        limit = self.config.memory_limit
+        while self._bytes_in_use + needed > limit and self._lru:
+            self._evict_one()
+        if self._bytes_in_use + needed > limit:
+            raise BufferPoolError(
+                f"buffer pool exhausted: {self._bytes_in_use} bytes fixed, "
+                f"{needed} more requested, limit {limit}"
+            )
+
+    def _shrink_to_target(self) -> None:
+        target = self.config.buffer_size
+        while self._bytes_in_use > target and self._lru:
+            self._evict_one()
+
+    def _evict_one(self) -> None:
+        key, _ = self._lru.popitem(last=False)
+        frame = self._frames[key]
+        self._drop(key, frame, write_back=True)
+        self.stats.evictions += 1
+
+    def _drop(self, key: PageKey, frame: _Frame, write_back: bool) -> None:
+        device, page_no = key
+        if device in self._virtuals:
+            self._virtuals[device].live_pages.discard(page_no)
+        elif write_back and frame.dirty:
+            self._disks[device].write_page(page_no, frame.data)
+            self.stats.writebacks += 1
+        self._frames.pop(key, None)
+        self._lru.pop(key, None)
+        self._bytes_in_use -= len(frame.data)

@@ -1,0 +1,120 @@
+"""Catalog: named stored relations, and the Relation <-> HeapFile bridge.
+
+Experiments load in-memory :class:`~repro.relalg.relation.Relation`
+objects into heap files once, cold, and then run metered plans over the
+files.  The catalog owns that mapping: each stored relation pairs a
+heap file with the schema (codec) that interprets its records.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.errors import StorageError
+from repro.relalg.relation import Relation
+from repro.relalg.schema import RecordCodec, Schema
+from repro.relalg.tuples import Row
+from repro.storage.buffer import BufferPool
+from repro.storage.disk import SimulatedDisk
+from repro.storage.heapfile import HeapFile, RecordId
+
+
+@dataclass
+class StoredRelation:
+    """A heap file plus the schema of its records."""
+
+    name: str
+    schema: Schema
+    file: HeapFile
+    codec: RecordCodec
+
+    @property
+    def record_count(self) -> int:
+        """Tuples stored."""
+        return self.file.record_count
+
+    @property
+    def page_count(self) -> int:
+        """Data pages used -- the experimental analogue of the cost
+        model's page cardinality."""
+        return self.file.page_count
+
+    def scan_rows(self) -> Iterator[tuple[RecordId, Row]]:
+        """Sequential scan decoding each record into a tuple."""
+        for rid, record in self.file.scan():
+            yield rid, self.codec.decode(record)
+
+    def to_relation(self) -> Relation:
+        """Materialize the stored tuples back into a Relation."""
+        return Relation(
+            self.schema, (row for _, row in self.scan_rows()), name=self.name
+        )
+
+
+class Catalog:
+    """Registry of stored relations on one buffered device.
+
+    Args:
+        pool: Buffer pool shared by all files.
+        disk: Device the relations live on.
+    """
+
+    def __init__(self, pool: BufferPool, disk: SimulatedDisk) -> None:
+        self.pool = pool
+        self.disk = disk
+        self._relations: dict[str, StoredRelation] = {}
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._relations
+
+    def names(self) -> tuple[str, ...]:
+        """Stored relation names."""
+        return tuple(self._relations)
+
+    def get(self, name: str) -> StoredRelation:
+        """Look up a stored relation by name."""
+        try:
+            return self._relations[name]
+        except KeyError:
+            raise StorageError(f"no stored relation named {name!r}") from None
+
+    def create(self, name: str, schema: Schema) -> StoredRelation:
+        """Create an empty stored relation."""
+        if name in self._relations:
+            raise StorageError(f"relation {name!r} already exists")
+        stored = StoredRelation(
+            name=name,
+            schema=schema,
+            file=HeapFile(self.pool, self.disk, name=name),
+            codec=schema.codec(),
+        )
+        self._relations[name] = stored
+        return stored
+
+    def store(self, relation: Relation, name: str | None = None, cold: bool = True) -> StoredRelation:
+        """Write an in-memory relation to a heap file.
+
+        Args:
+            relation: Tuples and schema to store.
+            name: Stored name; defaults to ``relation.name``.
+            cold: Flush dirty pages and drop every buffered frame of
+                the device afterwards, so a following scan pays real
+                read I/O -- the state the paper's experiments start in.
+        """
+        stored_name = name or relation.name
+        if not stored_name:
+            raise StorageError("relation needs a name to be stored")
+        stored = self.create(stored_name, relation.schema)
+        encode = stored.codec.encode
+        stored.file.append_many(encode(row) for row in relation)
+        if cold:
+            self.pool.flush_device(self.disk.name)
+            self.pool.drop_device_pages(self.disk.name)
+        return stored
+
+    def drop(self, name: str) -> None:
+        """Delete a stored relation and free its pages."""
+        stored = self.get(name)
+        stored.file.destroy()
+        del self._relations[name]

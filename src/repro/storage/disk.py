@@ -1,0 +1,147 @@
+"""A page-addressed simulated disk.
+
+The paper's file system "simulates a disk using a UNIX file or main
+memory" (Section 5.1).  :class:`SimulatedDisk` is the main-memory
+variant: a growable array of fixed-size pages.  Every read and write is
+reported to :class:`~repro.storage.stats.IoStatistics`, which charges
+seeks for non-sequential access and per-transfer latency/bandwidth per
+Table 3.
+
+A disk knows nothing about records or files; extents and slotted pages
+are layered on top by :mod:`repro.storage.heapfile`.
+"""
+
+from __future__ import annotations
+
+from repro.errors import DiskError
+from repro.storage.stats import IoStatistics
+
+
+class SimulatedDisk:
+    """A named device holding an array of fixed-size pages.
+
+    Args:
+        name: Device name used in I/O statistics (e.g. ``"data"``,
+            ``"temp"``).
+        page_size: Bytes per page; this is also the transfer unit, so a
+            temp device for 1 KB sort runs is simply a disk with
+            ``page_size=1024``.
+        stats: Shared statistics collector; pass the execution
+            context's collector so all devices report to one place.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        page_size: int,
+        stats: IoStatistics | None = None,
+    ) -> None:
+        if page_size <= 0:
+            raise DiskError("page_size must be positive")
+        self.name = name
+        self.page_size = page_size
+        self.stats = stats if stats is not None else IoStatistics()
+        self._pages: list[bytearray] = []
+        self._free: list[int] = []
+        self._free_set: set[int] = set()
+        self._closed = False
+
+    # -- allocation -----------------------------------------------------
+
+    @property
+    def page_count(self) -> int:
+        """Pages currently allocated (live, not freed)."""
+        return len(self._pages) - len(self._free)
+
+    def allocate_page(self) -> int:
+        """Allocate one page and return its page number.
+
+        Freed pages are recycled in LIFO order before the device grows,
+        so temp files reuse space the way an extent allocator would.
+        Allocation itself performs no I/O (and charges none); cost is
+        incurred when the page is written or read.
+        """
+        self._check_open()
+        if self._free:
+            page_no = self._free.pop()
+            self._free_set.discard(page_no)
+            return page_no
+        self._pages.append(bytearray(self.page_size))
+        return len(self._pages) - 1
+
+    def allocate_extent(self, pages: int) -> list[int]:
+        """Allocate ``pages`` physically contiguous new pages.
+
+        Contiguity matters to the cost model: sequential access within
+        an extent pays only one seek.  Extents never recycle the free
+        list, guaranteeing physical adjacency.
+        """
+        self._check_open()
+        if pages <= 0:
+            raise DiskError("extent size must be positive")
+        first = len(self._pages)
+        for _ in range(pages):
+            self._pages.append(bytearray(self.page_size))
+        return list(range(first, first + pages))
+
+    def free_page(self, page_no: int) -> None:
+        """Return a page to the allocator (its contents are cleared)."""
+        self._check_open()
+        self._check_page(page_no)
+        self._pages[page_no] = bytearray(self.page_size)
+        self._free.append(page_no)
+        self._free_set.add(page_no)
+
+    # -- transfers --------------------------------------------------------
+
+    def read_page(self, page_no: int) -> bytearray:
+        """Read one page; returns a *copy* of its contents.
+
+        Charges one transfer (plus a seek when non-sequential) to the
+        statistics collector.
+        """
+        self._check_open()
+        self._check_page(page_no)
+        self.stats.record_transfer(self.name, page_no, self.page_size, is_write=False)
+        return bytearray(self._pages[page_no])
+
+    def write_page(self, page_no: int, data: bytes | bytearray | memoryview) -> None:
+        """Write one full page.
+
+        Charges one transfer (plus a seek when non-sequential).
+        """
+        self._check_open()
+        self._check_page(page_no)
+        if len(data) != self.page_size:
+            raise DiskError(
+                f"write of {len(data)} bytes to device {self.name!r} with "
+                f"page size {self.page_size}"
+            )
+        self._pages[page_no] = bytearray(data)
+        self.stats.record_transfer(self.name, page_no, self.page_size, is_write=True)
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def close(self) -> None:
+        """Release all pages; further use raises :class:`DiskError`."""
+        self._pages.clear()
+        self._free.clear()
+        self._free_set.clear()
+        self._closed = True
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise DiskError(f"device {self.name!r} is closed")
+
+    def _check_page(self, page_no: int) -> None:
+        if not 0 <= page_no < len(self._pages):
+            raise DiskError(
+                f"page {page_no} out of range on device {self.name!r} "
+                f"({len(self._pages)} pages)"
+            )
+        if page_no in self._free_set:
+            raise DiskError(f"page {page_no} on device {self.name!r} is free")
+
+    def __repr__(self) -> str:
+        state = "closed" if self._closed else f"{self.page_count} pages"
+        return f"<SimulatedDisk {self.name!r} page_size={self.page_size} {state}>"

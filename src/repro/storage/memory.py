@@ -1,0 +1,134 @@
+"""The main-memory manager.
+
+The paper's hash algorithms "use the file system's memory manager to
+allocate space for hash tables, bit maps, and chain elements"
+(Section 5.1).  :class:`MemoryPool` is that manager: a byte-budgeted
+allocator that the hash-division operator charges for every divisor
+entry, quotient candidate, chain element, and bit map.
+
+Exhausting the pool raises
+:class:`~repro.errors.MemoryPoolError`; the single-phase hash operators
+translate that into
+:class:`~repro.errors.HashTableOverflowError`, which the partitioned
+driver in :mod:`repro.core.partitioned` handles by switching to
+multi-phase processing (Section 3.4).
+
+No real memory is reserved -- the pool is an accounting device that
+makes the simulated experiments respect the paper's memory limits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import MemoryPoolError
+
+#: Bookkeeping bytes charged per hash-table chain element: next pointer,
+#: record identifier, buffer address, and the divisor number or bit-map
+#: pointer (Section 5.1 lists exactly these fields).
+CHAIN_ELEMENT_BYTES = 32
+
+#: Bytes charged per hash-table bucket header (the bucket array slot).
+BUCKET_HEADER_BYTES = 8
+
+
+@dataclass
+class Allocation:
+    """A live allocation: its size and a tag naming its purpose."""
+
+    size: int
+    tag: str
+
+
+@dataclass
+class MemoryPoolStats:
+    """Aggregate allocation statistics for one pool."""
+
+    peak_bytes: int = 0
+    total_allocations: int = 0
+    by_tag: dict = field(default_factory=dict)
+
+
+class MemoryPool:
+    """A byte-budgeted allocator with tagged allocations.
+
+    Args:
+        budget: Maximum live bytes; ``None`` means unbounded (useful
+            for oracles and tests that should never overflow).
+    """
+
+    def __init__(self, budget: int | None = None) -> None:
+        if budget is not None and budget <= 0:
+            raise MemoryPoolError("memory budget must be positive (or None)")
+        self.budget = budget
+        self.stats = MemoryPoolStats()
+        self._live: dict[int, Allocation] = {}
+        self._next_handle = 0
+        self._in_use = 0
+
+    @property
+    def bytes_in_use(self) -> int:
+        """Currently allocated bytes."""
+        return self._in_use
+
+    @property
+    def bytes_free(self) -> int | None:
+        """Remaining budget, or ``None`` when unbounded."""
+        if self.budget is None:
+            return None
+        return self.budget - self._in_use
+
+    def can_allocate(self, size: int) -> bool:
+        """True when an allocation of ``size`` bytes would succeed."""
+        return self.budget is None or self._in_use + size <= self.budget
+
+    def allocate(self, size: int, tag: str = "untagged") -> int:
+        """Reserve ``size`` bytes; returns a handle for :meth:`free`.
+
+        Raises:
+            MemoryPoolError: when the allocation would exceed the budget.
+        """
+        if size < 0:
+            raise MemoryPoolError(f"allocation size must be >= 0, got {size}")
+        if not self.can_allocate(size):
+            raise MemoryPoolError(
+                f"memory pool exhausted: {self._in_use} bytes in use, "
+                f"{size} requested ({tag}), budget {self.budget}"
+            )
+        handle = self._next_handle
+        self._next_handle += 1
+        self._live[handle] = Allocation(size, tag)
+        self._in_use += size
+        self.stats.total_allocations += 1
+        self.stats.by_tag[tag] = self.stats.by_tag.get(tag, 0) + size
+        self.stats.peak_bytes = max(self.stats.peak_bytes, self._in_use)
+        return handle
+
+    def free(self, handle: int) -> None:
+        """Release one allocation."""
+        allocation = self._live.pop(handle, None)
+        if allocation is None:
+            raise MemoryPoolError(f"handle {handle} is not a live allocation")
+        self._in_use -= allocation.size
+
+    def free_all(self, tag: str | None = None) -> int:
+        """Release every live allocation (optionally only one tag).
+
+        Returns the number of bytes released.  Operators use this to
+        tear down a whole hash table ("free divisor table", Figure 1)
+        in one call.
+        """
+        victims = [
+            handle
+            for handle, allocation in self._live.items()
+            if tag is None or allocation.tag == tag
+        ]
+        released = 0
+        for handle in victims:
+            released += self._live.pop(handle).size
+        self._in_use -= released
+        return released
+
+    def __repr__(self) -> str:
+        cap = "unbounded" if self.budget is None else f"{self.budget}B"
+        return f"<MemoryPool {self._in_use}B in use of {cap}>"

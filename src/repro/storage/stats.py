@@ -1,0 +1,164 @@
+"""I/O statistics and the Table 3 cost weights.
+
+The paper does not time the disk; it *computes* I/O cost from
+statistics collected by the file system (Section 5.1) using the weights
+of Table 3:
+
+========================  ======
+Physical seek on device    20 ms
+Rotational latency         8 ms per transfer
+Transfer time              0.5 ms per KByte
+CPU cost per transfer      2 ms
+========================  ======
+
+The simulated disk feeds :class:`IoStatistics` one event per physical
+page transfer; :meth:`IoStatistics.cost_ms` applies the weights.  A
+*seek* is charged whenever a transfer is not physically sequential with
+the previous transfer on the same device, which is how read-ahead of
+"physically clustered or contiguous files" (Section 3.3) earns its
+advantage in this model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class IoWeights:
+    """Table 3: milliseconds charged per I/O event."""
+
+    seek_ms: float = 20.0
+    latency_ms_per_transfer: float = 8.0
+    transfer_ms_per_kib: float = 0.5
+    cpu_ms_per_transfer: float = 2.0
+
+
+@dataclass
+class DeviceCounters:
+    """Raw I/O counters for one simulated device."""
+
+    reads: int = 0
+    writes: int = 0
+    seeks: int = 0
+    bytes_read: int = 0
+    bytes_written: int = 0
+
+    @property
+    def transfers(self) -> int:
+        """Total physical transfers (reads + writes)."""
+        return self.reads + self.writes
+
+    @property
+    def bytes_total(self) -> int:
+        """Total bytes moved in either direction."""
+        return self.bytes_read + self.bytes_written
+
+
+class IoStatistics:
+    """Per-device I/O accounting with Table 3 costing.
+
+    One instance is shared by every simulated disk in an execution
+    context; devices report each transfer via :meth:`record_transfer`.
+    Sequentiality is tracked per device: a transfer at page ``p`` is
+    sequential if the device's previous transfer ended at page ``p``.
+    """
+
+    def __init__(self, weights: IoWeights | None = None) -> None:
+        self.weights = weights or IoWeights()
+        self._devices: dict[str, DeviceCounters] = {}
+        self._next_sequential_page: dict[str, int] = {}
+
+    def counters(self, device: str) -> DeviceCounters:
+        """Counters for ``device`` (created on first use)."""
+        if device not in self._devices:
+            self._devices[device] = DeviceCounters()
+        return self._devices[device]
+
+    @property
+    def devices(self) -> dict[str, DeviceCounters]:
+        """All per-device counters keyed by device name."""
+        return dict(self._devices)
+
+    def record_transfer(
+        self,
+        device: str,
+        page_no: int,
+        page_bytes: int,
+        is_write: bool,
+    ) -> None:
+        """Record one physical page transfer.
+
+        Args:
+            device: Device name.
+            page_no: Page number transferred.
+            page_bytes: Size of the transfer in bytes.
+            is_write: True for a write, False for a read.
+        """
+        counters = self.counters(device)
+        if self._next_sequential_page.get(device) != page_no:
+            counters.seeks += 1
+        self._next_sequential_page[device] = page_no + 1
+        if is_write:
+            counters.writes += 1
+            counters.bytes_written += page_bytes
+        else:
+            counters.reads += 1
+            counters.bytes_read += page_bytes
+
+    # -- costing -------------------------------------------------------
+
+    def totals(self) -> DeviceCounters:
+        """Counters summed over every device."""
+        total = DeviceCounters()
+        for counters in self._devices.values():
+            total.reads += counters.reads
+            total.writes += counters.writes
+            total.seeks += counters.seeks
+            total.bytes_read += counters.bytes_read
+            total.bytes_written += counters.bytes_written
+        return total
+
+    def cost_ms(self, device: str | None = None) -> float:
+        """Model I/O time in ms per the Table 3 weights.
+
+        Args:
+            device: Restrict to one device; ``None`` sums all devices.
+        """
+        counters = self.totals() if device is None else self.counters(device)
+        w = self.weights
+        return (
+            counters.seeks * w.seek_ms
+            + counters.transfers * (w.latency_ms_per_transfer + w.cpu_ms_per_transfer)
+            + (counters.bytes_total / 1024) * w.transfer_ms_per_kib
+        )
+
+    def snapshot(self) -> dict[str, DeviceCounters]:
+        """Deep copy of current counters (for before/after deltas)."""
+        return {
+            name: DeviceCounters(
+                c.reads, c.writes, c.seeks, c.bytes_read, c.bytes_written
+            )
+            for name, c in self._devices.items()
+        }
+
+    def cost_since(self, snapshot: dict[str, DeviceCounters]) -> float:
+        """Model I/O ms accumulated since ``snapshot`` was taken."""
+        w = self.weights
+        total = 0.0
+        for name, now in self._devices.items():
+            then = snapshot.get(name, DeviceCounters())
+            seeks = now.seeks - then.seeks
+            transfers = now.transfers - then.transfers
+            bytes_moved = now.bytes_total - then.bytes_total
+            total += (
+                seeks * w.seek_ms
+                + transfers * (w.latency_ms_per_transfer + w.cpu_ms_per_transfer)
+                + (bytes_moved / 1024) * w.transfer_ms_per_kib
+            )
+        return total
+
+    def reset(self) -> None:
+        """Forget all counters and sequentiality state."""
+        self._devices.clear()
+        self._next_sequential_page.clear()

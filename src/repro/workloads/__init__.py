@@ -1,0 +1,37 @@
+"""Workload generators for the paper's examples and experiments.
+
+* :mod:`repro.workloads.university` -- the running example schema
+  (Courses, Transcript), including the exact Figure 2 instance,
+* :mod:`repro.workloads.synthetic` -- the experimental workloads:
+  ``R = Q x S`` (Section 4.6's assumed case) and its relaxations
+  (non-matching tuples, partial quotients, duplicates),
+* :mod:`repro.workloads.zipf` -- skewed enrolment for partitioning and
+  hash-chain ablations.
+"""
+
+from repro.workloads.university import (
+    UniversityWorkload,
+    figure2_courses,
+    figure2_transcript,
+    make_university,
+)
+from repro.workloads.synthetic import (
+    make_exact_division,
+    make_with_duplicates,
+    make_with_nonmatching,
+    make_with_partial_quotients,
+)
+from repro.workloads.zipf import make_zipf_enrollment, zipf_weights
+
+__all__ = [
+    "UniversityWorkload",
+    "figure2_courses",
+    "figure2_transcript",
+    "make_university",
+    "make_exact_division",
+    "make_with_nonmatching",
+    "make_with_partial_quotients",
+    "make_with_duplicates",
+    "make_zipf_enrollment",
+    "zipf_weights",
+]

@@ -1,0 +1,160 @@
+"""Synthetic division workloads -- the paper's experimental inputs.
+
+The experiments (Sections 4.6, 5) use the *assumed case* ``R = Q × S``:
+the dividend is exactly the Cartesian product of the quotient and the
+divisor, so every dividend tuple participates in the quotient.  Record
+shapes match Section 5.1: one 8-byte integer for divisor and quotient
+tuples, two for dividend tuples.
+
+Relaxations of the assumed case, for the ablation benchmarks:
+
+* :func:`make_with_nonmatching` adds dividend tuples whose divisor
+  value matches no divisor tuple (the paper's "physics course"
+  tuples) -- the case where hash-division's early discard pays off,
+* :func:`make_with_partial_quotients` removes pairs so only a fraction
+  of candidates completes the divisor,
+* :func:`make_with_duplicates` duplicates dividend tuples -- the case
+  that breaks counter-based variants and unpreprocessed aggregation.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.errors import WorkloadError
+from repro.relalg.relation import Relation
+from repro.relalg.schema import Schema
+
+DIVIDEND_SCHEMA = Schema.of_ints("quotient_key", "divisor_key")
+DIVISOR_SCHEMA = Schema.of_ints("divisor_key")
+
+#: Divisor values start here so "non-matching" values below can never
+#: collide with real ones.
+_DIVISOR_BASE = 1_000_000
+_NONMATCHING_BASE = 9_000_000
+
+
+def make_exact_division(
+    divisor_tuples: int,
+    quotient_tuples: int,
+    seed: int = 0,
+    shuffle: bool = True,
+) -> tuple[Relation, Relation]:
+    """The assumed case ``R = Q × S``.
+
+    Returns ``(dividend, divisor)`` where the dividend holds
+    ``quotient_tuples * divisor_tuples`` rows and the quotient of the
+    division is exactly the ``quotient_tuples`` distinct keys.
+    """
+    if divisor_tuples < 0 or quotient_tuples < 0:
+        raise WorkloadError("sizes must be non-negative")
+    divisor_rows = [(_DIVISOR_BASE + i,) for i in range(divisor_tuples)]
+    dividend_rows = [
+        (q, _DIVISOR_BASE + d)
+        for q in range(quotient_tuples)
+        for d in range(divisor_tuples)
+    ]
+    if shuffle:
+        random.Random(seed).shuffle(dividend_rows)
+    return (
+        Relation(DIVIDEND_SCHEMA, dividend_rows, name="dividend"),
+        Relation(DIVISOR_SCHEMA, divisor_rows, name="divisor"),
+    )
+
+
+def make_with_nonmatching(
+    divisor_tuples: int,
+    quotient_tuples: int,
+    nonmatching_fraction: float,
+    seed: int = 0,
+) -> tuple[Relation, Relation]:
+    """``R = Q × S`` plus tuples that match no divisor value.
+
+    ``nonmatching_fraction`` is relative to the matching tuple count:
+    0.5 adds half as many non-matching tuples as there are matching
+    ones.  Hash-division discards them after a single divisor-table
+    probe; aggregation without a join would miscount them, so
+    benchmarks must pair this workload with ``with_join=True``.
+    """
+    if not 0.0 <= nonmatching_fraction:
+        raise WorkloadError("nonmatching_fraction must be >= 0")
+    dividend, divisor = make_exact_division(
+        divisor_tuples, quotient_tuples, seed=seed, shuffle=False
+    )
+    rng = random.Random(seed + 1)
+    extra = int(len(dividend) * nonmatching_fraction)
+    rows = list(dividend.rows)
+    for i in range(extra):
+        quotient_key = rng.randrange(max(1, quotient_tuples))
+        rows.append((quotient_key, _NONMATCHING_BASE + i))
+    rng.shuffle(rows)
+    return Relation(DIVIDEND_SCHEMA, rows, name="dividend+nonmatching"), divisor
+
+
+def make_with_partial_quotients(
+    divisor_tuples: int,
+    quotient_candidates: int,
+    complete_fraction: float,
+    seed: int = 0,
+) -> tuple[Relation, Relation, int]:
+    """Only a fraction of candidates has every divisor value.
+
+    Returns ``(dividend, divisor, expected_quotient_size)``.  Each
+    incomplete candidate is missing at least one (random) divisor
+    value, so it enters the quotient table but never completes its bit
+    map -- the cost regime the paper speculates about at the end of
+    Section 4.
+    """
+    if not 0.0 <= complete_fraction <= 1.0:
+        raise WorkloadError("complete_fraction must be within [0, 1]")
+    if divisor_tuples <= 0:
+        raise WorkloadError("partial-quotient workloads need a non-empty divisor")
+    rng = random.Random(seed)
+    divisor_rows = [(_DIVISOR_BASE + i,) for i in range(divisor_tuples)]
+    complete = int(round(quotient_candidates * complete_fraction))
+    rows = []
+    for q in range(quotient_candidates):
+        values = list(range(divisor_tuples))
+        if q >= complete:
+            keep = rng.randint(0, divisor_tuples - 1)
+            values = rng.sample(range(divisor_tuples), keep)
+        for d in values:
+            rows.append((q, _DIVISOR_BASE + d))
+    rng.shuffle(rows)
+    return (
+        Relation(DIVIDEND_SCHEMA, rows, name="dividend-partial"),
+        Relation(DIVISOR_SCHEMA, divisor_rows, name="divisor"),
+        complete,
+    )
+
+
+def make_with_duplicates(
+    divisor_tuples: int,
+    quotient_tuples: int,
+    duplication_factor: float,
+    seed: int = 0,
+) -> tuple[Relation, Relation]:
+    """``R = Q × S`` with randomly duplicated dividend tuples.
+
+    ``duplication_factor`` is the expected number of *extra* copies per
+    tuple (0.5 duplicates half the tuples once).  The quotient is
+    unchanged -- for algorithms that handle duplicates correctly.
+    """
+    if duplication_factor < 0:
+        raise WorkloadError("duplication_factor must be >= 0")
+    dividend, divisor = make_exact_division(
+        divisor_tuples, quotient_tuples, seed=seed, shuffle=False
+    )
+    rng = random.Random(seed + 2)
+    rows = list(dividend.rows)
+    extras = []
+    for row in rows:
+        copies = duplication_factor
+        while copies >= 1.0:
+            extras.append(row)
+            copies -= 1.0
+        if copies > 0 and rng.random() < copies:
+            extras.append(row)
+    rows.extend(extras)
+    rng.shuffle(rows)
+    return Relation(DIVIDEND_SCHEMA, rows, name="dividend+duplicates"), divisor

@@ -1,0 +1,163 @@
+"""The university schema -- the paper's running example.
+
+Two relations (Section 2): ``Courses(course_no, title)`` and
+``Transcript(student_id, course_no, grade)``.  The example queries are
+
+1. students who have taken *all* courses,
+2. students who have taken all courses whose title contains
+   ``"database"`` (a restricted divisor -- the case that forces a
+   semi-join into the aggregation strategies).
+
+:func:`figure2_transcript` / :func:`figure2_courses` reproduce the
+exact Figure 2 instance (Ann, Barb, Database1, Database2, Optics),
+where the quotient is Ann alone.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.errors import WorkloadError
+from repro.relalg.predicates import AttributeContains
+from repro.relalg.relation import Relation
+from repro.relalg.schema import Attribute, DataType, Schema
+from repro.relalg import algebra
+
+TITLE_WIDTH = 24
+NAME_WIDTH = 12
+
+COURSES_SCHEMA = Schema(
+    (
+        Attribute("course_no"),
+        Attribute("title", DataType.STRING, TITLE_WIDTH),
+    )
+)
+
+TRANSCRIPT_SCHEMA = Schema(
+    (
+        Attribute("student_id"),
+        Attribute("course_no"),
+        Attribute("grade"),
+    )
+)
+
+#: Schemas of the Figure 2 instance, which uses names and titles as
+#: the visible attributes.
+FIGURE2_TRANSCRIPT_SCHEMA = Schema(
+    (
+        Attribute("student", DataType.STRING, NAME_WIDTH),
+        Attribute("course", DataType.STRING, NAME_WIDTH),
+    )
+)
+FIGURE2_COURSES_SCHEMA = Schema((Attribute("course", DataType.STRING, NAME_WIDTH),))
+
+
+def figure2_transcript() -> Relation:
+    """The Figure 2 Transcript instance (already projected/selected)."""
+    return Relation(
+        FIGURE2_TRANSCRIPT_SCHEMA,
+        [
+            ("Ann", "Database1"),
+            ("Barb", "Database2"),
+            ("Ann", "Database2"),
+            ("Barb", "Optics"),
+        ],
+        name="Transcript",
+    )
+
+
+def figure2_courses() -> Relation:
+    """The Figure 2 Courses instance (the database courses)."""
+    return Relation(
+        FIGURE2_COURSES_SCHEMA,
+        [("Database1",), ("Database2",)],
+        name="Courses",
+    )
+
+
+@dataclass
+class UniversityWorkload:
+    """A generated university database plus its division inputs."""
+
+    courses: Relation
+    transcript: Relation
+    database_course_count: int
+
+    def all_courses_divisor(self) -> Relation:
+        """π course_no (Courses) -- the first example's divisor."""
+        return algebra.project(self.courses, ("course_no",), name="all-courses")
+
+    def database_courses_divisor(self) -> Relation:
+        """π course_no (σ title contains 'database' (Courses)) -- the
+        second example's restricted divisor."""
+        database_courses = algebra.select(
+            self.courses, AttributeContains("title", "database")
+        )
+        return algebra.project(database_courses, ("course_no",), name="db-courses")
+
+    def enrollment_dividend(self) -> Relation:
+        """π student_id, course_no (Transcript) -- the dividend of both
+        example queries (bag projection; division algorithms that need
+        duplicate-free input must eliminate duplicates themselves)."""
+        return algebra.project(
+            self.transcript,
+            ("student_id", "course_no"),
+            distinct=False,
+            name="enrollment",
+        )
+
+
+def make_university(
+    students: int,
+    courses: int,
+    database_courses: int,
+    completionists: int,
+    enrollment_probability: float = 0.5,
+    seed: int = 0,
+) -> UniversityWorkload:
+    """Generate a university database with known division answers.
+
+    Args:
+        students: Total students.
+        courses: Total courses.
+        database_courses: How many course titles contain ``"database"``.
+        completionists: Students guaranteed to enrol in *every* course
+            (the expected quotient of the first example query).
+        enrollment_probability: Chance each remaining (student, course)
+            pair is enrolled.
+        seed: RNG seed; generation is deterministic per seed.
+
+    Raises:
+        WorkloadError: for inconsistent sizes.
+    """
+    if database_courses > courses:
+        raise WorkloadError("database_courses cannot exceed courses")
+    if completionists > students:
+        raise WorkloadError("completionists cannot exceed students")
+    if not 0.0 <= enrollment_probability <= 1.0:
+        raise WorkloadError("enrollment_probability must be within [0, 1]")
+    rng = random.Random(seed)
+    course_rows = []
+    for course_no in range(courses):
+        if course_no < database_courses:
+            title = f"database systems {course_no}"
+        else:
+            title = f"topic {course_no}"
+        course_rows.append((course_no, title))
+    transcript_rows = []
+    for student_id in range(students):
+        if student_id < completionists:
+            enrolled = range(courses)
+        else:
+            enrolled = [
+                c for c in range(courses) if rng.random() < enrollment_probability
+            ]
+        for course_no in enrolled:
+            grade = rng.randint(0, 4)
+            transcript_rows.append((student_id, course_no, grade))
+    return UniversityWorkload(
+        courses=Relation(COURSES_SCHEMA, course_rows, name="Courses"),
+        transcript=Relation(TRANSCRIPT_SCHEMA, transcript_rows, name="Transcript"),
+        database_course_count=database_courses,
+    )

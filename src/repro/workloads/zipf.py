@@ -1,0 +1,87 @@
+"""Zipf-skewed enrolment workloads.
+
+Hash-based algorithms are sensitive to skew in two places: chain
+lengths in the hash tables and cluster sizes under hash partitioning
+(Sections 3.4, 6).  The paper's uniform ``R = Q × S`` workload cannot
+expose either, so this generator draws each candidate's divisor values
+with Zipf-distributed popularity: a few divisor values appear in almost
+every candidate, most appear rarely.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.errors import WorkloadError
+from repro.relalg.relation import Relation
+from repro.workloads.synthetic import DIVIDEND_SCHEMA, DIVISOR_SCHEMA, _DIVISOR_BASE
+
+
+def zipf_weights(n: int, skew: float) -> list[float]:
+    """Normalized Zipf(``skew``) weights for ranks 1..n.
+
+    ``skew = 0`` is uniform; larger values concentrate mass on the
+    first ranks.
+    """
+    if n <= 0:
+        raise WorkloadError("n must be positive")
+    if skew < 0:
+        raise WorkloadError("skew must be >= 0")
+    raw = [1.0 / (rank**skew) for rank in range(1, n + 1)]
+    total = sum(raw)
+    return [w / total for w in raw]
+
+
+def make_zipf_enrollment(
+    divisor_tuples: int,
+    quotient_candidates: int,
+    enrollments_per_candidate: int,
+    skew: float = 1.0,
+    completionists: int = 0,
+    seed: int = 0,
+) -> tuple[Relation, Relation, int]:
+    """Skewed division workload.
+
+    Each candidate enrols in ``enrollments_per_candidate`` divisor
+    values drawn Zipf(``skew``) without replacement; the first
+    ``completionists`` candidates enrol in everything (and are the
+    guaranteed quotient members -- other candidates may complete by
+    chance, so the returned count is the *guaranteed minimum*).
+
+    Returns ``(dividend, divisor, completionists)``.
+    """
+    if enrollments_per_candidate > divisor_tuples:
+        raise WorkloadError(
+            "enrollments_per_candidate cannot exceed divisor_tuples"
+        )
+    if completionists > quotient_candidates:
+        raise WorkloadError("completionists cannot exceed quotient_candidates")
+    rng = random.Random(seed)
+    weights = zipf_weights(divisor_tuples, skew)
+    divisor_rows = [(_DIVISOR_BASE + i,) for i in range(divisor_tuples)]
+    rows: list[tuple] = []
+    values = list(range(divisor_tuples))
+    for candidate in range(quotient_candidates):
+        if candidate < completionists:
+            chosen = values
+        else:
+            chosen = _weighted_sample(values, weights, enrollments_per_candidate, rng)
+        rows.extend((candidate, _DIVISOR_BASE + v) for v in chosen)
+    rng.shuffle(rows)
+    return (
+        Relation(DIVIDEND_SCHEMA, rows, name="dividend-zipf"),
+        Relation(DIVISOR_SCHEMA, divisor_rows, name="divisor"),
+        completionists,
+    )
+
+
+def _weighted_sample(
+    values: list[int], weights: list[float], k: int, rng: random.Random
+) -> list[int]:
+    """Draw ``k`` distinct values with probability proportional to
+    ``weights`` (simple rejection; fine for workload sizes)."""
+    chosen: set[int] = set()
+    while len(chosen) < k:
+        value = rng.choices(values, weights=weights, k=1)[0]
+        chosen.add(value)
+    return sorted(chosen)

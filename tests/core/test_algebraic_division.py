@@ -1,0 +1,44 @@
+"""Tests for division via the classical operator identity."""
+
+from repro.core.algebraic_division import algebraic_division
+from repro.executor.iterator import ExecContext
+from repro.relalg import algebra
+from repro.relalg.relation import Relation
+
+
+class TestCorrectness:
+    def test_matches_oracle(self, transcript, expected_quotient):
+        dividend = Relation.of_ints(("s", "c"), list(transcript.rows))
+        divisor = Relation.of_ints(("c",), [(10,), (11,)])
+        expected = algebra.divide_set_semantics(dividend, divisor)
+        assert set(expected.rows) == expected_quotient
+        result = algebraic_division(dividend, divisor)
+        assert set(result.rows) == expected_quotient
+
+    def test_duplicates_tolerated(self):
+        dividend = Relation.of_ints(("q", "d"), [(1, 5), (1, 5), (1, 6)])
+        divisor = Relation.of_ints(("d",), [(5,), (6,), (6,)])
+        assert algebraic_division(dividend, divisor).rows == [(1,)]
+
+    def test_empty_divisor_vacuous(self):
+        dividend = Relation.of_ints(("q", "d"), [(1, 5), (2, 6)])
+        divisor = Relation.of_ints(("d",), [])
+        assert sorted(algebraic_division(dividend, divisor).rows) == [(1,), (2,)]
+
+
+class TestCostAccounting:
+    def test_charges_quadratic_product_cost(self):
+        ctx = ExecContext()
+        quotient, divisor_size = 30, 20
+        dividend = Relation.of_ints(
+            ("q", "d"), [(q, d) for q in range(quotient) for d in range(divisor_size)]
+        )
+        divisor = Relation.of_ints(("d",), [(d,) for d in range(divisor_size)])
+        algebraic_division(dividend, divisor, ctx=ctx)
+        # The Cartesian product dominates: |Q| * |S| hash insertions.
+        assert ctx.cpu.hashes >= quotient * divisor_size
+
+    def test_no_ctx_no_charge(self):
+        dividend = Relation.of_ints(("q", "d"), [(1, 5)])
+        divisor = Relation.of_ints(("d",), [(5,)])
+        assert algebraic_division(dividend, divisor).rows == [(1,)]

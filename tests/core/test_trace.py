@@ -1,0 +1,105 @@
+"""The tracing division must retell Section 3.2's story, verbatim.
+
+"First, the Courses relation is read ... Divisor number 0 is assigned
+to tuple (Database1), and 1 to (Database2).  Second, the Transcript
+relation is read.  For its first tuple, (Ann, Database1), a matching
+divisor tuple ... is located ... a new quotient tuple, (Ann), is
+created ... The first bit (indexed by 0) ... is then set to one.  For
+the second dividend tuple, (Barb, Database2), another quotient tuple
+and a bit map are created in the same way.  For the third dividend
+tuple, (Ann, Database2), both a matching divisor tuple ... and a
+matching quotient tuple ... can be found ... and the second bit
+(indexed by 1) in the bit map of (Ann) is set to one.  The last
+dividend tuple, (Barb, Optics), does not have a matching divisor tuple
+... and this dividend tuple is discarded.  Finally ... the only such
+tuple and bit map is (Ann)."
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.trace import trace_hash_division
+from repro.relalg import algebra
+from repro.relalg.relation import Relation
+from repro.workloads.university import figure2_courses, figure2_transcript
+
+
+class TestFigure2Narrative:
+    def test_the_exact_story(self):
+        trace = trace_hash_division(figure2_transcript(), figure2_courses())
+        kinds = [(event.kind, event.tuple_, event.divisor_number)
+                 for event in trace.events]
+        assert kinds == [
+            # Step 1: divisor numbers 0 and 1.
+            ("assign-divisor-number", ("Database1",), 0),
+            ("assign-divisor-number", ("Database2",), 1),
+            # (Ann, Database1): new candidate, bit 0 set.
+            ("new-candidate", ("Ann",), None),
+            ("set-bit", ("Ann",), 0),
+            # (Barb, Database2): new candidate, bit 1 set.
+            ("new-candidate", ("Barb",), None),
+            ("set-bit", ("Barb",), 1),
+            # (Ann, Database2): existing candidate, bit 1 set.
+            ("set-bit", ("Ann",), 1),
+            # (Barb, Optics): discarded.
+            ("discard", ("Barb", "Optics"), None),
+            # Step 3: Ann emitted, Barb rejected.
+            ("emit", ("Ann",), None),
+            ("reject", ("Barb",), None),
+        ]
+        assert trace.quotient == [("Ann",)]
+
+    def test_render_is_readable(self):
+        trace = trace_hash_division(figure2_transcript(), figure2_courses())
+        text = trace.render()
+        assert "assign-divisor-number ('Database1',) divisor#0" in text
+        assert "discard ('Barb', 'Optics')" in text
+
+    def test_of_kind(self):
+        trace = trace_hash_division(figure2_transcript(), figure2_courses())
+        assert len(trace.of_kind("set-bit")) == 3
+        assert len(trace.of_kind("emit")) == 1
+
+
+class TestTraceEdgeCases:
+    def test_divisor_duplicates_narrated(self):
+        dividend = Relation.of_ints(("q", "d"), [(1, 5)])
+        divisor = Relation.of_ints(("d",), [(5,), (5,)])
+        trace = trace_hash_division(dividend, divisor)
+        assert len(trace.of_kind("duplicate-divisor")) == 1
+        assert trace.quotient == [(1,)]
+
+    def test_dividend_duplicates_narrated(self):
+        dividend = Relation.of_ints(("q", "d"), [(1, 5), (1, 5)])
+        divisor = Relation.of_ints(("d",), [(5,)])
+        trace = trace_hash_division(dividend, divisor)
+        assert len(trace.of_kind("bit-already-set")) == 1
+        assert trace.quotient == [(1,)]
+
+    def test_vacuous_divisor(self):
+        dividend = Relation.of_ints(("q", "d"), [(1, 5), (2, 6)])
+        divisor = Relation.of_ints(("d",), [])
+        trace = trace_hash_division(dividend, divisor)
+        assert sorted(trace.quotient) == [(1,), (2,)]
+        assert len(trace.of_kind("emit")) == 2
+
+
+quotient_keys = st.integers(min_value=0, max_value=5)
+divisor_keys = st.integers(min_value=50, max_value=55)
+
+
+@given(
+    st.lists(st.tuples(quotient_keys, st.one_of(divisor_keys,
+                                                st.integers(900, 903))),
+             max_size=40),
+    st.lists(st.tuples(divisor_keys), max_size=6),
+)
+@settings(max_examples=100, deadline=None)
+def test_trace_is_a_third_independent_oracle(dividend_rows, divisor_rows):
+    """The tracing implementation agrees with the set-semantics oracle
+    on arbitrary inputs -- three independent implementations, one
+    answer."""
+    dividend = Relation.of_ints(("q", "d"), dividend_rows)
+    divisor = Relation.of_ints(("d",), divisor_rows)
+    expected = algebra.divide_set_semantics(dividend, divisor)
+    trace = trace_hash_division(dividend, divisor)
+    assert set(trace.quotient) == expected.as_set()

@@ -1,0 +1,91 @@
+"""Tests for the per-algorithm analytical cost formulas."""
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.costmodel.formulas import (
+    DivisionScenario,
+    hash_aggregation_cost,
+    hash_division_cost,
+    naive_division_cost,
+    sort_aggregation_cost,
+)
+
+
+@pytest.fixture
+def smallest():
+    """|S| = |Q| = 25, the top-left Table 2 cell."""
+    return DivisionScenario(25, 25)
+
+
+class TestScenario:
+    def test_derived_cardinalities(self, smallest):
+        assert smallest.dividend_tuples == 625
+        assert smallest.dividend_pages == pytest.approx(125.0)
+        assert smallest.divisor_pages == pytest.approx(2.5)
+        assert smallest.quotient_pages == pytest.approx(2.5)
+
+    def test_sizes_validated(self):
+        with pytest.raises(ExperimentError):
+            DivisionScenario(0, 25)
+
+
+class TestBreakdowns:
+    def test_components_sum_to_total(self, smallest):
+        breakdown = hash_division_cost(smallest)
+        assert breakdown.total_ms == pytest.approx(sum(breakdown.components.values()))
+
+    def test_naive_division_components(self, smallest):
+        breakdown = naive_division_cost(smallest)
+        assert set(breakdown.components) == {
+            "sort dividend", "sort divisor", "division scan",
+        }
+        # Sorting the dividend dominates the naive algorithm.
+        assert breakdown.components["sort dividend"] > breakdown.components["division scan"]
+
+    def test_hash_division_cell(self, smallest):
+        # (r+s) SIO + |S| Hash + |R| (2(Hash + 2 Comp) + Bit)
+        expected = 127.5 * 15 + 25 * 0.03 + 625 * (2 * (0.03 + 2 * 0.03) + 0.003)
+        assert hash_division_cost(smallest).total_ms == pytest.approx(expected)
+
+    def test_hash_aggregation_no_join_cell(self, smallest):
+        expected = 125 * 15 + 625 * (0.03 + 2 * 0.03) + 2.5 * 15
+        assert hash_aggregation_cost(smallest).total_ms == pytest.approx(expected)
+
+    def test_with_join_strictly_more_expensive(self, smallest):
+        for costing in (sort_aggregation_cost, hash_aggregation_cost):
+            assert (
+                costing(smallest, True).total_ms
+                > costing(smallest, False).total_ms
+            )
+
+    def test_sort_agg_with_join_doubles_no_join_plus_merge(self, smallest):
+        no_join = sort_aggregation_cost(smallest, False).total_ms
+        with_join = sort_aggregation_cost(smallest, True).total_ms
+        merge_join = 127.5 * 15 + 625 * 25 * 0.03
+        assert with_join == pytest.approx(2 * no_join + merge_join)
+
+
+class TestRanking:
+    @pytest.mark.parametrize("s,q", [(25, 25), (100, 100), (400, 400)])
+    def test_paper_ranking_holds_at_every_size(self, s, q):
+        scenario = DivisionScenario(s, q)
+        naive = naive_division_cost(scenario).total_ms
+        sort_nj = sort_aggregation_cost(scenario, False).total_ms
+        sort_wj = sort_aggregation_cost(scenario, True).total_ms
+        hash_nj = hash_aggregation_cost(scenario, False).total_ms
+        hash_wj = hash_aggregation_cost(scenario, True).total_ms
+        hash_div = hash_division_cost(scenario).total_ms
+        # Section 4.6's observations:
+        assert sort_nj < naive < sort_wj          # sort-agg ~ naive; join kills it
+        assert hash_nj < hash_div < hash_wj       # hash-division between the two
+        assert hash_wj < sort_nj                  # hashing beats sorting
+        # Hash-division within a few percent of the fastest.
+        assert hash_div / hash_nj < 1.05
+
+    def test_hash_division_beats_aggregation_when_join_needed(self):
+        scenario = DivisionScenario(100, 100)
+        assert (
+            hash_division_cost(scenario).total_ms
+            < hash_aggregation_cost(scenario, True).total_ms
+        )

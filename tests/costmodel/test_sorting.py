@@ -1,0 +1,75 @@
+"""Tests for the Section 4.1 sorting cost formulas."""
+
+import math
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.costmodel.sorting import (
+    external_merge_sort_cost,
+    merge_passes,
+    quicksort_cost,
+)
+from repro.costmodel.units import PAPER_UNITS
+
+
+class TestQuicksort:
+    def test_formula(self):
+        # 2 n log2 n Comp for n = 25: the divisor sort in Table 2.
+        assert quicksort_cost(25) == pytest.approx(2 * 25 * math.log2(25) * 0.03)
+
+    def test_trivial_inputs_free(self):
+        assert quicksort_cost(0) == 0.0
+        assert quicksort_cost(1) == 0.0
+
+
+class TestMergePasses:
+    def test_fits_in_memory_means_zero_passes(self):
+        assert merge_passes(50, 100) == 0.0
+        assert merge_passes(100, 100) == 0.0
+
+    def test_paper_mode_uses_one_pass_for_moderate_spill(self):
+        # r = 125, m = 100: log_100(1.25) ~ 0.05, the paper uses 1 pass.
+        assert merge_passes(125, 100, mode="paper") == 1.0
+
+    def test_paper_mode_matches_table2_largest_point(self):
+        # r = 32000, m = 100: log_100(320) ~ 1.25; the printed Table 2
+        # figure for |S| = |Q| = 400 implies exactly one pass.
+        assert merge_passes(32000, 100, mode="paper") == 1.0
+
+    def test_strict_mode_takes_the_ceiling(self):
+        assert merge_passes(125, 100, mode="strict") == 1.0
+        assert merge_passes(32000, 100, mode="strict") == 2.0
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ExperimentError):
+            merge_passes(200, 100, mode="fantasy")
+
+    def test_tiny_memory_rejected(self):
+        with pytest.raises(ExperimentError):
+            merge_passes(10, 1)
+
+
+class TestExternalMergeSort:
+    def test_in_memory_falls_back_to_quicksort(self):
+        assert external_merge_sort_cost(100, 10, 100) == quicksort_cost(100)
+
+    def test_table2_dividend_sort_cost(self):
+        # |R| = 625, r = 125, m = 100: the smallest Table 2 point.
+        cost = external_merge_sort_cost(625, 125, 100)
+        per_pass = 125 * (2 * 30 + 0.4) + 625 * math.log2(100) * 0.03
+        initial = 2 * 625 * math.log2(625 * 100 / 125) * 0.03
+        assert cost == pytest.approx(per_pass + initial)
+
+    def test_cost_grows_with_relation_size(self):
+        small = external_merge_sort_cost(625, 125, 100)
+        large = external_merge_sort_cost(2500, 500, 100)
+        assert large > small
+
+    def test_custom_units_scale_io(self):
+        from repro.costmodel.units import CostUnits
+
+        doubled_io = CostUnits(rio=60.0)
+        base = external_merge_sort_cost(625, 125, 100, PAPER_UNITS)
+        more = external_merge_sort_cost(625, 125, 100, doubled_io)
+        assert more > base

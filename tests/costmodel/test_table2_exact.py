@@ -1,0 +1,51 @@
+"""Table 2 reproduction: every printed cell, to rounding.
+
+This is the strongest claim the cost-model package makes: the Section 4
+formulas, as implemented, regenerate the paper's Table 2 with a worst
+relative deviation below 0.02% (pure rounding of the printed integers).
+"""
+
+import pytest
+
+from repro.costmodel.scenarios import (
+    PAPER_TABLE2,
+    TABLE2_COLUMNS,
+    TABLE2_SIZES,
+    scenario_costs,
+    table2_grid,
+)
+from repro.costmodel.formulas import DivisionScenario
+
+
+class TestGridShape:
+    def test_nine_size_points(self):
+        assert len(TABLE2_SIZES) == 9
+        assert len(PAPER_TABLE2) == 9
+
+    def test_six_columns(self):
+        assert len(TABLE2_COLUMNS) == 6
+
+    def test_grid_rows_carry_paper_figures(self):
+        grid = table2_grid()
+        assert len(grid) == 9
+        for row in grid:
+            assert set(row["costs"]) == set(TABLE2_COLUMNS)
+            assert set(row["paper"]) == set(TABLE2_COLUMNS)
+
+
+@pytest.mark.parametrize("size", TABLE2_SIZES, ids=lambda s: f"S{s[0]}-Q{s[1]}")
+@pytest.mark.parametrize("column", TABLE2_COLUMNS)
+def test_every_cell_matches_paper(size, column):
+    scenario = DivisionScenario(*size)
+    computed = scenario_costs(scenario)[column].total_ms
+    printed = PAPER_TABLE2[size][TABLE2_COLUMNS.index(column)]
+    assert computed == pytest.approx(printed, rel=2e-4), (
+        f"{column} at |S|={size[0]}, |Q|={size[1]}: "
+        f"computed {computed:.1f}, paper {printed}"
+    )
+
+
+def test_worst_case_deviation_bound():
+    from repro.experiments import table2
+
+    assert table2.max_deviation() < 2e-4

@@ -1,0 +1,64 @@
+"""Tests for the Table 1 cost units."""
+
+import pytest
+
+from repro.costmodel.units import PAPER_UNITS, CostUnits
+from repro.metering import CpuCounters
+
+
+class TestTable1Values:
+    def test_paper_values(self):
+        units = PAPER_UNITS
+        assert units.rio == 30.0
+        assert units.sio == 15.0
+        assert units.comp == 0.03
+        assert units.hash_ == 0.03
+        assert units.move == 0.4
+        assert units.bit == 0.003
+
+    def test_as_table_has_six_units(self):
+        table = PAPER_UNITS.as_table()
+        assert [row[0] for row in table] == [
+            "RIO", "SIO", "Comp", "Hash", "Move", "Bit",
+        ]
+        assert all(len(row) == 3 for row in table)
+
+
+class TestCpuWeighting:
+    def test_weights_each_counter(self):
+        counters = CpuCounters(comparisons=100, hashes=50, moves=2.0, bit_ops=1000)
+        expected = 100 * 0.03 + 50 * 0.03 + 2.0 * 0.4 + 1000 * 0.003
+        assert PAPER_UNITS.cpu_cost_ms(counters) == pytest.approx(expected)
+
+    def test_zero_counters_cost_nothing(self):
+        assert PAPER_UNITS.cpu_cost_ms(CpuCounters()) == 0.0
+
+    def test_custom_units(self):
+        units = CostUnits(comp=1.0, hash_=0, move=0, bit=0)
+        counters = CpuCounters(comparisons=7)
+        assert units.cpu_cost_ms(counters) == 7.0
+
+
+class TestCounters:
+    def test_merge_and_delta(self):
+        a = CpuCounters(comparisons=1, hashes=2)
+        b = CpuCounters(comparisons=10, hashes=20, bit_ops=5)
+        delta = b.delta_since(a)
+        assert delta.comparisons == 9 and delta.hashes == 18 and delta.bit_ops == 5
+        a.merge(delta)
+        assert a.comparisons == 10 and a.hashes == 20
+
+    def test_snapshot_is_independent(self):
+        counters = CpuCounters(comparisons=1)
+        snap = counters.snapshot()
+        counters.comparisons += 5
+        assert snap.comparisons == 1
+
+    def test_tuple_moves_convert_to_pages(self):
+        counters = CpuCounters()
+        counters.add_tuple_moves(tuple_count=512, tuple_bytes=16, page_bytes=8192)
+        assert counters.moves == pytest.approx(1.0)
+
+    def test_tuple_moves_reject_bad_page_size(self):
+        with pytest.raises(ValueError):
+            CpuCounters().add_tuple_moves(1, 1, 0)

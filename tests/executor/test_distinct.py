@@ -1,0 +1,52 @@
+"""Tests for hash-based duplicate elimination."""
+
+import pytest
+
+from repro.errors import HashTableOverflowError
+from repro.executor.distinct import HashDistinct
+from repro.executor.iterator import ExecContext, run_to_relation
+from repro.executor.scan import RelationSource
+from repro.relalg.relation import Relation
+
+
+def source(ctx, rows):
+    return RelationSource(ctx, Relation.of_ints(("a", "b"), rows))
+
+
+class TestHashDistinct:
+    def test_removes_duplicates_keeps_first_order(self, ctx):
+        rows = [(1, 1), (2, 2), (1, 1), (3, 3), (2, 2)]
+        result = run_to_relation(HashDistinct(source(ctx, rows)))
+        assert result.rows == [(1, 1), (2, 2), (3, 3)]
+
+    def test_no_duplicates_passthrough(self, ctx):
+        rows = [(1, 1), (2, 2)]
+        assert run_to_relation(HashDistinct(source(ctx, rows))).rows == rows
+
+    def test_empty_input(self, ctx):
+        assert run_to_relation(HashDistinct(source(ctx, []))).rows == []
+
+    def test_memory_grows_with_distinct_count(self, ctx):
+        """The paper's warning: hash dup-elim holds the whole distinct
+        input in memory -- unlike hash aggregation."""
+        rows = [(i, i) for i in range(1000)]
+        run_to_relation(HashDistinct(source(ctx, rows)))
+        per_entry = ctx.memory.stats.peak_bytes / 1000
+        assert per_entry >= 16  # at least the record size per entry
+
+    def test_overflow_on_large_distinct_input(self):
+        ctx = ExecContext(memory_budget=4 * 1024)
+        rows = [(i, i) for i in range(1000)]
+        with pytest.raises(HashTableOverflowError):
+            run_to_relation(HashDistinct(source(ctx, rows)))
+
+    def test_duplicate_heavy_input_fits_small_budget(self):
+        # Many tuples, few distinct: memory tracks distinct count.
+        ctx = ExecContext(memory_budget=8 * 1024)
+        rows = [(i % 10, 0) for i in range(5000)]
+        result = run_to_relation(HashDistinct(source(ctx, rows)))
+        assert len(result) == 10
+
+    def test_memory_released_on_close(self, ctx):
+        run_to_relation(HashDistinct(source(ctx, [(1, 1)])))
+        assert ctx.memory.bytes_in_use == 0

@@ -1,0 +1,63 @@
+"""Tests for plan explanation and per-operator row counters."""
+
+from repro.executor.filter import Select
+from repro.executor.iterator import run_to_relation
+from repro.executor.project import Project
+from repro.executor.scan import RelationSource
+from repro.relalg.predicates import ComparisonPredicate
+from repro.relalg.relation import Relation
+
+
+def make_plan(ctx):
+    relation = Relation.of_ints(
+        ("a", "b"), [(i, i * 10) for i in range(10)], name="r"
+    )
+    return Project(
+        Select(RelationSource(ctx, relation), ComparisonPredicate("a", ">=", 7)),
+        ["b"],
+    )
+
+
+class TestRowCounters:
+    def test_counts_rows_per_operator(self, ctx):
+        plan = make_plan(ctx)
+        run_to_relation(plan)
+        assert plan.rows_produced == 3
+        select = plan.children()[0]
+        source = select.children()[0]
+        assert select.rows_produced == 3
+        assert source.rows_produced == 10
+
+    def test_reopen_resets_counters(self, ctx):
+        plan = make_plan(ctx)
+        run_to_relation(plan)
+        run_to_relation(plan)
+        assert plan.rows_produced == 3  # not 6
+
+    def test_partial_drain_counts_partially(self, ctx):
+        plan = make_plan(ctx)
+        plan.open()
+        plan.next()
+        assert plan.rows_produced == 1
+        plan.close()
+
+
+class TestExplainAnalyze:
+    def test_plain_explain_has_no_counts(self, ctx):
+        plan = make_plan(ctx)
+        assert "rows=" not in plan.explain()
+
+    def test_analyze_shows_counts_after_run(self, ctx):
+        plan = make_plan(ctx)
+        run_to_relation(plan)
+        text = plan.explain(analyze=True)
+        assert "[rows=3]" in text
+        assert "[rows=10]" in text
+
+    def test_analyze_structure_matches_tree(self, ctx):
+        plan = make_plan(ctx)
+        run_to_relation(plan)
+        lines = plan.explain(analyze=True).splitlines()
+        assert lines[0].startswith("Project")
+        assert lines[1].strip().startswith("Select")
+        assert lines[2].strip().startswith("RelationSource")

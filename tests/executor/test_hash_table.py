@@ -1,0 +1,135 @@
+"""Tests for the bucket-chained hash table."""
+
+import pytest
+
+from repro.errors import HashTableOverflowError
+from repro.executor.hash_table import ChainedHashTable
+from repro.metering import CpuCounters
+from repro.storage.memory import (
+    BUCKET_HEADER_BYTES,
+    CHAIN_ELEMENT_BYTES,
+    MemoryPool,
+)
+
+
+def make_table(buckets=8, entry_bytes=8, budget=None):
+    cpu = CpuCounters()
+    memory = MemoryPool(budget)
+    table = ChainedHashTable(cpu, memory, buckets, entry_bytes, tag="t")
+    return table, cpu, memory
+
+
+class TestBasics:
+    def test_insert_and_find(self):
+        table, _, _ = make_table()
+        table.insert((1,), "a")
+        assert table.find((1,)) == "a"
+        assert table.find((2,)) is None
+        assert len(table) == 1
+
+    def test_find_or_insert(self):
+        table, _, _ = make_table()
+        payload, inserted = table.find_or_insert((1,), lambda: [0])
+        assert inserted
+        payload[0] += 1
+        again, inserted = table.find_or_insert((1,), lambda: [0])
+        assert not inserted
+        assert again[0] == 1
+        assert len(table) == 1
+
+    def test_items_covers_all_entries(self):
+        table, _, _ = make_table(buckets=4)
+        for i in range(20):
+            table.insert((i,), i)
+        assert sorted(table.items()) == [((i,), i) for i in range(20)]
+
+    def test_chains_handle_collisions(self):
+        table, _, _ = make_table(buckets=1)
+        for i in range(10):
+            table.insert((i,), i)
+        assert all(table.find((i,)) == i for i in range(10))
+        assert table.average_chain_length == 10.0
+
+    def test_buckets_for_targets_hbs_two(self):
+        # hbs = 2 (Section 4.6): bucket count ~ entries / 2, power of 2.
+        assert ChainedHashTable.buckets_for(64) == 32
+        assert ChainedHashTable.buckets_for(100) == 64
+        assert ChainedHashTable.buckets_for(0) == 16
+
+    def test_bucket_count_must_be_positive(self):
+        with pytest.raises(ValueError):
+            make_table(buckets=0)
+
+
+class TestMetering:
+    def test_insert_charges_one_hash(self):
+        table, cpu, _ = make_table()
+        table.insert((1,), "a")
+        assert cpu.hashes == 1
+        assert cpu.comparisons == 0
+
+    def test_find_charges_hash_plus_chain_comparisons(self):
+        table, cpu, _ = make_table(buckets=1)
+        for i in range(4):
+            table.insert((i,), i)
+        cpu.reset()
+        table.find((3,))
+        assert cpu.hashes == 1
+        assert cpu.comparisons == 4  # walked the whole chain
+
+    def test_miss_walks_entire_chain(self):
+        table, cpu, _ = make_table(buckets=1)
+        for i in range(4):
+            table.insert((i,), i)
+        cpu.reset()
+        table.find((99,))
+        assert cpu.comparisons == 4
+
+
+class TestMemoryCharging:
+    def test_creation_charges_bucket_array(self):
+        _, _, memory = make_table(buckets=8)
+        assert memory.bytes_in_use == 8 * BUCKET_HEADER_BYTES
+
+    def test_insert_charges_chain_element_plus_entry(self):
+        table, _, memory = make_table(buckets=8, entry_bytes=16)
+        base = memory.bytes_in_use
+        table.insert((1,), "x")
+        assert memory.bytes_in_use == base + CHAIN_ELEMENT_BYTES + 16
+
+    def test_overflow_raises_hash_table_overflow(self):
+        table, _, _ = make_table(buckets=4, entry_bytes=64, budget=256)
+        with pytest.raises(HashTableOverflowError):
+            for i in range(100):
+                table.insert((i,), i)
+
+    def test_creation_overflow(self):
+        with pytest.raises(HashTableOverflowError):
+            make_table(buckets=1024, budget=64)
+
+    def test_free_releases_everything(self):
+        table, _, memory = make_table()
+        for i in range(10):
+            table.insert((i,), i)
+        table.free()
+        assert memory.bytes_in_use == 0
+
+    def test_free_is_idempotent_and_blocks_use(self):
+        table, _, _ = make_table()
+        table.free()
+        table.free()
+        with pytest.raises(HashTableOverflowError):
+            table.insert((1,), 1)
+
+    def test_two_tables_free_independently(self):
+        cpu = CpuCounters()
+        memory = MemoryPool()
+        a = ChainedHashTable(cpu, memory, 4, 8, tag="a")
+        b = ChainedHashTable(cpu, memory, 4, 8, tag="b")
+        a.insert((1,), 1)
+        b.insert((1,), 1)
+        a.free()
+        assert b.find((1,)) == 1
+        assert memory.bytes_in_use > 0
+        b.free()
+        assert memory.bytes_in_use == 0

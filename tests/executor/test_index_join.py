@@ -1,0 +1,110 @@
+"""Tests for index join and index semi-join."""
+
+import pytest
+
+from repro.errors import ExecutionError
+from repro.executor.index_join import IndexJoin, IndexSemiJoin
+from repro.executor.iterator import run_to_relation
+from repro.executor.scan import RelationSource
+from repro.relalg.relation import Relation
+from repro.storage.index import SecondaryIndex
+
+
+@pytest.fixture
+def course_index(catalog, courses):
+    stored = catalog.store(courses)
+    return SecondaryIndex.build(stored, ["course_no"])
+
+
+class TestIndexSemiJoin:
+    def test_filters_by_index_existence(self, ctx, transcript, course_index):
+        plan = IndexSemiJoin(RelationSource(ctx, transcript), course_index)
+        result = run_to_relation(plan)
+        # Course-99 tuples match no indexed course.
+        assert all(row[1] in {10, 11} for row in result.rows)
+        assert len(result) == 6
+
+    def test_duplicates_in_outer_preserved(self, ctx, courses, catalog):
+        stored = catalog.store(courses, name="c2")
+        index = SecondaryIndex.build(stored, ["course_no"])
+        outer = Relation.of_ints(
+            ("student_id", "course_no"), [(1, 10), (1, 10)]
+        )
+        plan = IndexSemiJoin(RelationSource(ctx, outer), index)
+        assert len(run_to_relation(plan)) == 2
+
+    def test_missing_key_attribute_rejected(self, ctx, course_index):
+        outer = Relation.of_ints(("x",), [])
+        with pytest.raises(ExecutionError):
+            IndexSemiJoin(RelationSource(ctx, outer), course_index)
+
+    def test_agrees_with_hash_semi_join(self, ctx, catalog):
+        import random
+
+        rng = random.Random(4)
+        inner = Relation.of_ints(
+            ("k",), [(v,) for v in rng.sample(range(50), 20)], name="inner"
+        )
+        outer = Relation.of_ints(
+            ("k", "a"), [(rng.randrange(50), i) for i in range(200)]
+        )
+        stored = catalog.store(inner)
+        index = SecondaryIndex.build(stored, ["k"])
+        via_index = run_to_relation(
+            IndexSemiJoin(RelationSource(ctx, outer), index)
+        )
+        from repro.executor.hash_join import HashSemiJoin
+
+        via_hash = run_to_relation(
+            HashSemiJoin(
+                RelationSource(ctx, outer), RelationSource(ctx, inner), ["k"]
+            )
+        )
+        assert via_index.bag_equal(via_hash)
+
+
+class TestIndexJoin:
+    def test_fetches_inner_attributes(self, ctx, catalog):
+        inner = Relation.of_ints(("k", "payload"), [(1, 100), (2, 200)], name="inner")
+        stored = catalog.store(inner)
+        index = SecondaryIndex.build(stored, ["k"])
+        outer = Relation.of_ints(("k", "a"), [(1, 10), (3, 30)])
+        plan = IndexJoin(RelationSource(ctx, outer), index)
+        result = run_to_relation(plan)
+        assert result.rows == [(1, 10, 100)]
+        assert result.schema.names == ("k", "a", "payload")
+
+    def test_one_to_many(self, ctx, catalog):
+        inner = Relation.of_ints(("k", "p"), [(1, 0), (1, 1), (1, 2)], name="inner")
+        stored = catalog.store(inner)
+        index = SecondaryIndex.build(stored, ["k"])
+        outer = Relation.of_ints(("k",), [(1,)])
+        plan = IndexJoin(RelationSource(ctx, outer), index)
+        assert len(run_to_relation(plan)) == 3
+
+    def test_join_on_full_inner_schema(self, ctx, catalog):
+        inner = Relation.of_ints(("k",), [(1,), (2,)], name="inner")
+        stored = catalog.store(inner)
+        index = SecondaryIndex.build(stored, ["k"])
+        outer = Relation.of_ints(("k", "a"), [(2, 20)])
+        result = run_to_relation(IndexJoin(RelationSource(ctx, outer), index))
+        assert result.rows == [(2, 20)]
+        assert result.schema.names == ("k", "a")
+
+    def test_random_fetches_can_cost_random_io(self, ctx, catalog):
+        # A big cold inner + scattered probes: record fetches miss the
+        # buffer and pay (random) reads.
+        inner = Relation.of_ints(
+            ("k", "p"), [(i, i) for i in range(20_000)], name="inner"
+        )
+        stored = catalog.store(inner, cold=True)
+        index = SecondaryIndex.build(stored, ["k"])
+        ctx.io_stats.reset()
+        # Index build scanned the file; drop the buffered pages again.
+        ctx.pool.drop_device_pages("data")
+        ctx.io_stats.reset()
+        outer = Relation.of_ints(("k",), [(i * 977 % 20_000,) for i in range(50)])
+        run_to_relation(IndexJoin(RelationSource(ctx, outer), index))
+        counters = ctx.io_stats.counters("data")
+        assert counters.reads > 0
+        assert counters.seeks > counters.reads // 2  # scattered = seeky

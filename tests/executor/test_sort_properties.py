@@ -1,0 +1,68 @@
+"""Property-based tests for the external sort."""
+
+from collections import Counter
+
+from hypothesis import given, settings, strategies as st
+
+from repro.executor.iterator import ExecContext, run_to_relation
+from repro.executor.scan import RelationSource
+from repro.executor.sort import ExternalSort, count_reducer
+from repro.relalg.relation import Relation
+from repro.storage.config import StorageConfig
+
+rows_strategy = st.lists(
+    st.tuples(
+        st.integers(min_value=-100, max_value=100),
+        st.integers(min_value=-100, max_value=100),
+    ),
+    max_size=300,
+)
+
+
+def spilling_ctx() -> ExecContext:
+    """A context whose sort buffer holds only 8 records of 16 bytes."""
+    return ExecContext(
+        config=StorageConfig(
+            page_size=8192,
+            sort_run_page_size=1024,
+            buffer_size=64 * 1024,
+            memory_limit=256 * 1024,
+            sort_buffer_size=8 * 16,
+        )
+    )
+
+
+@given(rows_strategy)
+@settings(max_examples=60, deadline=None)
+def test_sort_output_is_sorted_permutation(rows):
+    ctx = spilling_ctx()
+    relation = Relation.of_ints(("a", "b"), rows)
+    plan = ExternalSort(RelationSource(ctx, relation), ["a", "b"])
+    result = run_to_relation(plan)
+    assert result.rows == sorted(rows)
+    assert Counter(result.rows) == Counter(tuple(r) for r in rows)
+
+
+@given(rows_strategy)
+@settings(max_examples=60, deadline=None)
+def test_distinct_output_matches_set(rows):
+    ctx = spilling_ctx()
+    relation = Relation.of_ints(("a", "b"), rows)
+    plan = ExternalSort(RelationSource(ctx, relation), ["a", "b"], distinct=True)
+    result = run_to_relation(plan)
+    assert result.rows == sorted(set(map(tuple, rows)))
+
+
+@given(rows_strategy)
+@settings(max_examples=60, deadline=None)
+def test_count_reducer_matches_counter(rows):
+    ctx = spilling_ctx()
+    relation = Relation.of_ints(("a", "b"), rows)
+    reducer = count_reducer(relation.schema, ["a"])
+    plan = ExternalSort(RelationSource(ctx, relation), ["a"], reducer=reducer)
+    result = run_to_relation(plan)
+    expected = Counter(row[0] for row in rows)
+    assert dict(((k,), v) for k, v in expected.items()) == {
+        (row[0],): row[1] for row in result.rows
+    }
+    assert [row[0] for row in result.rows] == sorted(expected)

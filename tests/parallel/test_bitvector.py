@@ -1,0 +1,54 @@
+"""Tests for the bit-vector filter."""
+
+import pytest
+
+from repro.metering import CpuCounters
+from repro.parallel.bitvector import BitVectorFilter
+
+
+class TestSemantics:
+    def test_no_false_negatives(self):
+        keys = [(i,) for i in range(100)]
+        bit_vector = BitVectorFilter.built_from(keys, bits=64)
+        assert all(bit_vector.may_contain(key) for key in keys)
+
+    def test_rejects_most_non_members_when_wide(self):
+        members = [(i,) for i in range(10)]
+        bit_vector = BitVectorFilter.built_from(members, bits=4096)
+        probes = [(i,) for i in range(1000, 2000)]
+        false_positives = sum(bit_vector.may_contain(p) for p in probes)
+        # Fill ratio ~ 10/4096: false positives should be rare.
+        assert false_positives < 50
+
+    def test_false_positives_possible_when_narrow(self):
+        """The paper: "the selection of tuples is only a heuristic" --
+        an unrelated key can map to a set bit."""
+        members = [(i,) for i in range(30)]
+        bit_vector = BitVectorFilter.built_from(members, bits=8)
+        probes = [(i,) for i in range(100, 300)]
+        assert any(bit_vector.may_contain(p) for p in probes)
+
+    def test_fill_ratio(self):
+        bit_vector = BitVectorFilter(bits=100)
+        assert bit_vector.fill_ratio == 0.0
+        bit_vector.insert((1,))
+        assert 0.0 < bit_vector.fill_ratio <= 0.01 + 1e-9
+
+    def test_size_bytes_scales_with_bits(self):
+        assert BitVectorFilter(bits=64).size_bytes == 8
+        assert BitVectorFilter(bits=1024).size_bytes == 128
+
+    def test_zero_bits_rejected(self):
+        with pytest.raises(ValueError):
+            BitVectorFilter(bits=0)
+
+
+class TestMetering:
+    def test_insert_and_probe_charge_hash_and_bit(self):
+        cpu = CpuCounters()
+        bit_vector = BitVectorFilter(bits=64, cpu=cpu)
+        cpu.reset()
+        bit_vector.insert((1,))
+        assert cpu.hashes == 1 and cpu.bit_ops == 1
+        bit_vector.may_contain((1,))
+        assert cpu.hashes == 2 and cpu.bit_ops == 2

@@ -1,0 +1,92 @@
+"""Tests for the decentralized collection phase (§6)."""
+
+import pytest
+
+from repro.errors import PartitioningError
+from repro.parallel import parallel_hash_division
+from repro.relalg import algebra
+from repro.relalg.relation import Relation
+
+
+@pytest.fixture
+def workload():
+    divisor = Relation.of_ints(("d",), [(d,) for d in range(16)], name="S")
+    rows = [(q, d) for q in range(40) for d in range(16)]
+    rows = [r for r in rows if not (r[0] % 5 == 2 and r[1] == 9)]
+    dividend = Relation.of_ints(("q", "d"), rows, name="R")
+    expected = algebra.divide_set_semantics(dividend, divisor)
+    return dividend, divisor, expected
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("processors", [1, 2, 4, 8])
+    def test_matches_central(self, workload, processors):
+        dividend, divisor, expected = workload
+        central = parallel_hash_division(
+            dividend, divisor, processors, strategy="divisor", collection="central"
+        )
+        decentralized = parallel_hash_division(
+            dividend, divisor, processors, strategy="divisor",
+            collection="decentralized",
+        )
+        assert central.quotient.set_equal(expected)
+        assert decentralized.quotient.set_equal(expected)
+
+    def test_with_bit_vector(self, workload):
+        dividend, divisor, expected = workload
+        result = parallel_hash_division(
+            dividend, divisor, 4, strategy="divisor",
+            collection="decentralized", bit_vector_bits=512,
+        )
+        assert result.quotient.set_equal(expected)
+
+    def test_unknown_mode_rejected(self, workload):
+        dividend, divisor, _ = workload
+        with pytest.raises(PartitioningError):
+            parallel_hash_division(
+                dividend, divisor, 4, strategy="divisor", collection="bogus"
+            )
+
+    def test_collection_mode_ignored_for_quotient_strategy(self, workload):
+        dividend, divisor, expected = workload
+        result = parallel_hash_division(
+            dividend, divisor, 4, strategy="quotient",
+            collection="decentralized",
+        )
+        assert result.quotient.set_equal(expected)
+
+
+class TestBottleneckRelief:
+    def make_collection_heavy(self):
+        # A large quotient makes the collection phase the dominant
+        # cost: every candidate survives every phase.
+        divisor = Relation.of_ints(("d",), [(d,) for d in range(16)])
+        dividend = Relation.of_ints(
+            ("q", "d"), [(q, d) for q in range(800) for d in range(16)]
+        )
+        return dividend, divisor
+
+    def test_decentralization_removes_the_coordinator(self):
+        dividend, divisor = self.make_collection_heavy()
+        central = parallel_hash_division(
+            dividend, divisor, 8, strategy="divisor", collection="central"
+        )
+        decentralized = parallel_hash_division(
+            dividend, divisor, 8, strategy="divisor", collection="decentralized"
+        )
+        assert central.coordinator_ms > 0
+        assert decentralized.coordinator_ms == 0.0
+        assert decentralized.elapsed_ms < central.elapsed_ms
+
+    def test_decentralization_spreads_inbound_traffic(self):
+        dividend, divisor = self.make_collection_heavy()
+        central = parallel_hash_division(
+            dividend, divisor, 8, strategy="divisor", collection="central"
+        )
+        decentralized = parallel_hash_division(
+            dividend, divisor, 8, strategy="divisor", collection="decentralized"
+        )
+        assert (
+            decentralized.network.busiest_receiver_ms()
+            < central.network.busiest_receiver_ms()
+        )

@@ -1,0 +1,141 @@
+"""Tests for parallel hash-division on the shared-nothing simulation."""
+
+import pytest
+
+from repro.errors import PartitioningError
+from repro.parallel import parallel_hash_division
+from repro.relalg import algebra
+from repro.relalg.relation import Relation
+
+
+@pytest.fixture
+def workload():
+    divisor = Relation.of_ints(("d",), [(d,) for d in range(12)], name="S")
+    rows = [(q, d) for q in range(30) for d in range(12)]
+    rows = [r for r in rows if not (r[0] % 3 == 0 and r[1] == 5)]  # disqualify
+    rows += [(q, 500 + q) for q in range(30)]  # non-matching noise
+    dividend = Relation.of_ints(("q", "d"), rows, name="R")
+    expected = algebra.divide_set_semantics(dividend, divisor)
+    return dividend, divisor, expected
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("strategy", ["quotient", "divisor"])
+    @pytest.mark.parametrize("processors", [1, 2, 5])
+    def test_matches_oracle(self, workload, strategy, processors):
+        dividend, divisor, expected = workload
+        result = parallel_hash_division(
+            dividend, divisor, processors, strategy=strategy
+        )
+        assert result.quotient.set_equal(expected)
+
+    @pytest.mark.parametrize("strategy", ["quotient", "divisor"])
+    def test_bit_vector_preserves_result(self, workload, strategy):
+        dividend, divisor, expected = workload
+        result = parallel_hash_division(
+            dividend, divisor, 4, strategy=strategy, bit_vector_bits=256
+        )
+        assert result.quotient.set_equal(expected)
+
+    def test_empty_divisor_vacuous(self):
+        dividend = Relation.of_ints(("q", "d"), [(1, 5), (2, 6)])
+        divisor = Relation.of_ints(("d",), [])
+        for strategy in ("quotient", "divisor"):
+            result = parallel_hash_division(dividend, divisor, 3, strategy=strategy)
+            assert sorted(result.quotient.rows) == [(1,), (2,)]
+
+    def test_invalid_parameters(self, workload):
+        dividend, divisor, _ = workload
+        with pytest.raises(PartitioningError):
+            parallel_hash_division(dividend, divisor, 0)
+        with pytest.raises(PartitioningError):
+            parallel_hash_division(dividend, divisor, 2, strategy="bogus")
+
+
+class TestScaling:
+    def make_big(self):
+        divisor = Relation.of_ints(("d",), [(d,) for d in range(60)])
+        dividend = Relation.of_ints(
+            ("q", "d"), [(q, d) for q in range(200) for d in range(60)]
+        )
+        return dividend, divisor
+
+    def test_speedup_with_more_processors(self):
+        dividend, divisor = self.make_big()
+        one = parallel_hash_division(dividend, divisor, 1, strategy="quotient")
+        eight = parallel_hash_division(dividend, divisor, 8, strategy="quotient")
+        assert eight.elapsed_ms < one.elapsed_ms
+        assert one.elapsed_ms / eight.elapsed_ms > 3.0  # decent scaling
+
+    def test_total_work_roughly_conserved(self):
+        dividend, divisor = self.make_big()
+        one = parallel_hash_division(dividend, divisor, 1, strategy="quotient")
+        eight = parallel_hash_division(dividend, divisor, 8, strategy="quotient")
+        # Parallelism redistributes work; it must not multiply it.
+        assert eight.total_work_ms < 1.5 * one.total_work_ms
+
+    def test_divisor_strategy_reports_phases(self):
+        dividend, divisor = self.make_big()
+        result = parallel_hash_division(dividend, divisor, 4, strategy="divisor")
+        assert result.detail["phases"] == 4
+        assert result.coordinator_ms > 0  # the collection site works
+
+    def test_per_node_memory_fits_with_divisor_partitioning(self):
+        """Section 6, second question: a divisor table too large for
+        one node fits once partitioned across nodes."""
+        divisor = Relation.of_ints(("d",), [(d,) for d in range(1500)])
+        dividend = Relation.of_ints(
+            ("q", "d"), [(q, d) for q in range(3) for d in range(1500)]
+        )
+        budget = 24 * 1024  # too small for the whole divisor table
+        result = parallel_hash_division(
+            dividend, divisor, 8, strategy="divisor",
+            memory_budget_per_node=budget,
+        )
+        assert sorted(result.quotient.rows) == [(0,), (1,), (2,)]
+
+
+class TestBitVectorFiltering:
+    def test_filter_cuts_shipped_tuples(self):
+        divisor = Relation.of_ints(("d",), [(d,) for d in range(20)])
+        rows = [(q, d) for q in range(50) for d in range(20)]
+        rows += [(q, 10_000 + q) for q in range(50) for _ in range(20)]
+        dividend = Relation.of_ints(("q", "d"), rows)
+        unfiltered = parallel_hash_division(dividend, divisor, 4, strategy="quotient")
+        filtered = parallel_hash_division(
+            dividend, divisor, 4, strategy="quotient", bit_vector_bits=8192
+        )
+        assert filtered.quotient.set_equal(unfiltered.quotient)
+        assert filtered.dividend_tuples_filtered > 0
+        assert filtered.dividend_tuples_shipped < unfiltered.dividend_tuples_shipped
+        assert filtered.network.total_bytes < unfiltered.network.total_bytes
+
+    def test_narrow_filter_drops_nothing_it_should_not(self):
+        divisor = Relation.of_ints(("d",), [(d,) for d in range(20)])
+        dividend = Relation.of_ints(
+            ("q", "d"), [(q, d) for q in range(10) for d in range(20)]
+        )
+        result = parallel_hash_division(
+            dividend, divisor, 4, strategy="quotient", bit_vector_bits=4
+        )
+        assert len(result.quotient) == 10  # everything still qualifies
+
+
+class TestAccounting:
+    def test_result_repr_and_fields(self, workload):
+        dividend, divisor, _ = workload
+        result = parallel_hash_division(dividend, divisor, 3, strategy="quotient")
+        assert result.processors == 3
+        assert len(result.local_ms) == 3
+        assert result.strategy == "quotient"
+        assert "3" in repr(result)
+
+    def test_quotient_strategy_has_no_coordinator(self, workload):
+        dividend, divisor, _ = workload
+        result = parallel_hash_division(dividend, divisor, 3, strategy="quotient")
+        assert result.coordinator_ms == 0.0
+
+    def test_network_traffic_present_with_multiple_nodes(self, workload):
+        dividend, divisor, _ = workload
+        result = parallel_hash_division(dividend, divisor, 4, strategy="quotient")
+        assert result.network.total_bytes > 0

@@ -1,0 +1,104 @@
+"""Property-based tests for the algebra layer (hypothesis).
+
+These pin down the algebraic laws the rest of the library leans on --
+most importantly that the two independent division oracles (direct
+definition and operator identity) always agree, and that division is
+the right adjoint of the Cartesian product.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.relalg import algebra
+from repro.relalg.relation import Relation
+
+quotient_keys = st.integers(min_value=0, max_value=6)
+divisor_keys = st.integers(min_value=100, max_value=106)
+
+dividends = st.lists(
+    st.tuples(quotient_keys, divisor_keys), max_size=60
+).map(lambda rows: Relation.of_ints(("q", "d"), rows, name="R"))
+
+divisors = st.lists(
+    st.tuples(divisor_keys), max_size=8
+).map(lambda rows: Relation.of_ints(("d",), rows, name="S"))
+
+
+@given(dividends, divisors)
+@settings(max_examples=200)
+def test_oracles_agree(dividend, divisor):
+    """The direct definition and the operator identity always agree."""
+    direct = algebra.divide_set_semantics(dividend, divisor)
+    identity = algebra.divide_by_identity(dividend, divisor)
+    assert direct.set_equal(identity)
+
+
+@given(dividends, divisors)
+@settings(max_examples=200)
+def test_quotient_tuples_have_all_divisor_values(dividend, divisor):
+    """Soundness: every quotient member pairs with every divisor value
+    in the dividend."""
+    quotient = algebra.divide_set_semantics(dividend, divisor)
+    dividend_set = dividend.as_set()
+    divisor_values = {row[0] for row in divisor}
+    for (q,) in quotient:
+        for d in divisor_values:
+            assert (q, d) in dividend_set
+
+
+@given(dividends, divisors)
+@settings(max_examples=200)
+def test_non_quotient_tuples_miss_some_divisor_value(dividend, divisor):
+    """Completeness: every excluded candidate misses a divisor value."""
+    quotient_set = algebra.divide_set_semantics(dividend, divisor).as_set()
+    dividend_set = dividend.as_set()
+    divisor_values = {row[0] for row in divisor}
+    candidates = {(row[0],) for row in dividend}
+    for candidate in candidates - quotient_set:
+        assert any(
+            (candidate[0], d) not in dividend_set for d in divisor_values
+        )
+
+
+@given(st.sets(quotient_keys, max_size=6), st.sets(divisor_keys, max_size=6))
+@settings(max_examples=150)
+def test_division_inverts_cartesian_product(quotient_values, divisor_values):
+    """(Q x S) / S == Q whenever S is non-empty."""
+    quotient = Relation.of_ints(("q",), [(v,) for v in quotient_values])
+    divisor = Relation.of_ints(("d",), [(v,) for v in divisor_values])
+    product = algebra.cartesian_product(quotient, divisor)
+    if not len(divisor):
+        return
+    result = algebra.divide_set_semantics(product, divisor)
+    assert result.as_set() == quotient.as_set()
+
+
+@given(dividends, divisors)
+@settings(max_examples=150)
+def test_division_insensitive_to_duplicates_and_order(dividend, divisor):
+    """Adding duplicates or shuffling never changes the quotient."""
+    baseline = algebra.divide_set_semantics(dividend, divisor)
+    doubled = Relation.of_ints(
+        ("q", "d"), list(dividend.rows) + list(reversed(dividend.rows))
+    )
+    doubled_divisor = Relation.of_ints(
+        ("d",), list(divisor.rows) + list(divisor.rows)
+    )
+    assert algebra.divide_set_semantics(doubled, doubled_divisor).set_equal(baseline)
+
+
+@given(dividends, divisors)
+@settings(max_examples=150)
+def test_quotient_is_subset_of_candidates(dividend, divisor):
+    quotient = algebra.divide_set_semantics(dividend, divisor)
+    candidates = algebra.project(dividend, ["q"])
+    assert quotient.as_set() <= candidates.as_set()
+
+
+@given(dividends, divisors, divisors)
+@settings(max_examples=150)
+def test_division_antitone_in_divisor(dividend, small, extra):
+    """Growing the divisor can only shrink the quotient."""
+    union = algebra.union(small, extra)
+    bigger = algebra.divide_set_semantics(dividend, union)
+    smaller = algebra.divide_set_semantics(dividend, small)
+    assert bigger.as_set() <= smaller.as_set()

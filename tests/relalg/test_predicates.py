@@ -1,0 +1,84 @@
+"""Tests for selection predicates."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.relalg.predicates import (
+    AttributeContains,
+    AttributeEquals,
+    AttributeIn,
+    ComparisonPredicate,
+    NotPredicate,
+    TruePredicate,
+)
+from repro.relalg.schema import Attribute, DataType, Schema
+
+INT_SCHEMA = Schema.of_ints("a", "b")
+TEXT_SCHEMA = Schema((Attribute("title", DataType.STRING, 24), Attribute("n")))
+
+
+class TestBasicPredicates:
+    def test_true_predicate_accepts_everything(self):
+        test = TruePredicate().compile(INT_SCHEMA)
+        assert test((0, 0)) and test((-5, 99))
+
+    def test_attribute_equals(self):
+        test = AttributeEquals("b", 7).compile(INT_SCHEMA)
+        assert test((0, 7))
+        assert not test((7, 0))
+
+    def test_comparison_operators(self):
+        rows = [(i, 0) for i in range(5)]
+        less = ComparisonPredicate("a", "<", 2).compile(INT_SCHEMA)
+        assert [r for r in rows if less(r)] == [(0, 0), (1, 0)]
+        at_least = ComparisonPredicate("a", ">=", 3).compile(INT_SCHEMA)
+        assert [r for r in rows if at_least(r)] == [(3, 0), (4, 0)]
+        unequal = ComparisonPredicate("a", "!=", 0).compile(INT_SCHEMA)
+        assert not unequal((0, 0))
+
+    def test_unknown_operator_rejected(self):
+        with pytest.raises(SchemaError):
+            ComparisonPredicate("a", "<>", 1)
+
+    def test_attribute_in(self):
+        test = AttributeIn("a", [1, 3]).compile(INT_SCHEMA)
+        assert test((1, 0)) and test((3, 0)) and not test((2, 0))
+
+    def test_contains_matches_paper_example(self):
+        # The paper's second example restricts the divisor to titles
+        # containing "database".
+        test = AttributeContains("title", "database").compile(TEXT_SCHEMA)
+        assert test(("intro to database systems", 1))
+        assert not test(("optics", 2))
+
+    def test_unknown_attribute_raises_at_compile_time(self):
+        with pytest.raises(SchemaError):
+            AttributeEquals("missing", 1).compile(INT_SCHEMA)
+
+
+class TestCombinators:
+    def test_and(self):
+        predicate = AttributeEquals("a", 1) & AttributeEquals("b", 2)
+        test = predicate.compile(INT_SCHEMA)
+        assert test((1, 2))
+        assert not test((1, 3))
+        assert not test((0, 2))
+
+    def test_or(self):
+        predicate = AttributeEquals("a", 1) | AttributeEquals("b", 2)
+        test = predicate.compile(INT_SCHEMA)
+        assert test((1, 99)) and test((99, 2))
+        assert not test((0, 0))
+
+    def test_not(self):
+        predicate = ~AttributeEquals("a", 1)
+        test = predicate.compile(INT_SCHEMA)
+        assert test((0, 0)) and not test((1, 0))
+        assert isinstance(predicate, NotPredicate)
+
+    def test_nested_combination(self):
+        predicate = (AttributeEquals("a", 1) | AttributeEquals("a", 2)) & ~AttributeEquals("b", 0)
+        test = predicate.compile(INT_SCHEMA)
+        assert test((1, 5)) and test((2, 5))
+        assert not test((1, 0))
+        assert not test((3, 5))

@@ -1,0 +1,95 @@
+"""Tests for the Relation container."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.relalg.relation import Relation
+from repro.relalg.schema import Schema
+
+
+class TestConstruction:
+    def test_of_ints(self):
+        relation = Relation.of_ints(("a", "b"), [(1, 2)], name="r")
+        assert len(relation) == 1
+        assert relation.schema.names == ("a", "b")
+        assert relation.name == "r"
+
+    def test_rows_are_normalized_to_tuples(self):
+        relation = Relation.of_ints(("a",), [[1], (2,)])
+        assert relation.rows == [(1,), (2,)]
+
+    def test_arity_checked_on_construction(self):
+        with pytest.raises(SchemaError):
+            Relation.of_ints(("a",), [(1, 2)])
+
+    def test_arity_checked_on_append(self):
+        relation = Relation.of_ints(("a",), [])
+        with pytest.raises(SchemaError):
+            relation.append((1, 2))
+
+    def test_extend(self):
+        relation = Relation.of_ints(("a",), [])
+        relation.extend([(1,), (2,)])
+        assert len(relation) == 2
+
+
+class TestAccess:
+    def test_iteration_preserves_order(self):
+        rows = [(3,), (1,), (2,)]
+        assert list(Relation.of_ints(("a",), rows)) == rows
+
+    def test_column(self):
+        relation = Relation.of_ints(("a", "b"), [(1, 10), (2, 20)])
+        assert relation.column("b") == [10, 20]
+
+    def test_bool(self):
+        assert not Relation.of_ints(("a",), [])
+        assert Relation.of_ints(("a",), [(1,)])
+
+
+class TestComparisons:
+    def test_bag_equal_is_order_insensitive(self):
+        left = Relation.of_ints(("a",), [(1,), (2,), (2,)])
+        right = Relation.of_ints(("a",), [(2,), (1,), (2,)])
+        assert left.bag_equal(right)
+
+    def test_bag_equal_respects_multiplicity(self):
+        left = Relation.of_ints(("a",), [(1,), (1,)])
+        right = Relation.of_ints(("a",), [(1,)])
+        assert not left.bag_equal(right)
+        assert left.set_equal(right)
+
+    def test_different_schemas_never_equal(self):
+        left = Relation.of_ints(("a",), [(1,)])
+        right = Relation.of_ints(("b",), [(1,)])
+        assert not left.bag_equal(right)
+        assert not left.set_equal(right)
+
+    def test_has_duplicates(self):
+        assert Relation.of_ints(("a",), [(1,), (1,)]).has_duplicates()
+        assert not Relation.of_ints(("a",), [(1,), (2,)]).has_duplicates()
+
+
+class TestTransformations:
+    def test_distinct_preserves_first_occurrence_order(self):
+        relation = Relation.of_ints(("a",), [(2,), (1,), (2,), (1,)])
+        assert relation.distinct().rows == [(2,), (1,)]
+
+    def test_sorted_by(self):
+        relation = Relation.of_ints(("a", "b"), [(2, 1), (1, 2), (1, 1)])
+        assert relation.sorted_by(("a", "b")).rows == [(1, 1), (1, 2), (2, 1)]
+
+    def test_sorted_by_minor_key_only(self):
+        relation = Relation.of_ints(("a", "b"), [(2, 1), (1, 3), (3, 2)])
+        assert relation.sorted_by(("b",)).rows == [(2, 1), (3, 2), (1, 3)]
+
+    def test_filter(self):
+        relation = Relation.of_ints(("a",), [(1,), (2,), (3,)])
+        assert relation.filter(lambda row: row[0] > 1).rows == [(2,), (3,)]
+
+    def test_rename_shares_rows(self):
+        relation = Relation.of_ints(("a",), [(1,)], name="old")
+        renamed = relation.rename("new")
+        assert renamed.name == "new"
+        relation.append((2,))
+        assert len(renamed) == 2

@@ -1,0 +1,191 @@
+"""Tests for the buffer manager."""
+
+import pytest
+
+from repro.errors import BufferPoolError, StorageError
+from repro.storage.buffer import BufferPool
+from repro.storage.config import StorageConfig
+from repro.storage.disk import SimulatedDisk
+from repro.storage.stats import IoStatistics
+
+
+def make_pool(pages: int = 4, page_size: int = 1024, limit_pages: int = 8):
+    config = StorageConfig(
+        page_size=page_size,
+        sort_run_page_size=page_size,
+        buffer_size=pages * page_size,
+        memory_limit=limit_pages * page_size,
+        sort_buffer_size=page_size,
+    )
+    pool = BufferPool(config)
+    disk = pool.register_device(SimulatedDisk("d", page_size, IoStatistics()))
+    return pool, disk
+
+
+class TestFixUnfix:
+    def test_new_page_is_fixed_and_zeroed(self):
+        pool, disk = make_pool()
+        page_no, view = pool.new_page("d")
+        assert bytes(view) == b"\x00" * 1024
+        assert pool.fixed_page_count() == 1
+        pool.unfix("d", page_no, dirty=True)
+        assert pool.fixed_page_count() == 0
+
+    def test_fix_hit_avoids_disk_read(self):
+        pool, disk = make_pool()
+        page_no, view = pool.new_page("d")
+        pool.unfix("d", page_no, dirty=True)
+        pool.fix("d", page_no)
+        pool.unfix("d", page_no)
+        assert disk.stats.counters("d").reads == 0
+        assert pool.stats.misses == 0
+
+    def test_fix_miss_reads_from_disk(self):
+        pool, disk = make_pool()
+        page_no = disk.allocate_page()
+        disk.write_page(page_no, b"\x07" * 1024)
+        view = pool.fix("d", page_no)
+        assert bytes(view[:1]) == b"\x07"
+        pool.unfix("d", page_no)
+        assert pool.stats.misses == 1
+
+    def test_unfix_unfixed_page_rejected(self):
+        pool, _ = make_pool()
+        with pytest.raises(BufferPoolError):
+            pool.unfix("d", 0)
+
+    def test_nested_fixes_require_matching_unfixes(self):
+        pool, _ = make_pool()
+        page_no, _ = pool.new_page("d")
+        pool.fix("d", page_no)
+        pool.unfix("d", page_no)
+        assert pool.fixed_page_count() == 1
+        pool.unfix("d", page_no)
+        assert pool.fixed_page_count() == 0
+
+    def test_unknown_device_rejected(self):
+        pool, _ = make_pool()
+        with pytest.raises(StorageError):
+            pool.fix("nope", 0)
+
+    def test_duplicate_device_name_rejected(self):
+        pool, _ = make_pool()
+        with pytest.raises(StorageError):
+            pool.register_device(SimulatedDisk("d", 1024))
+
+
+class TestEvictionAndWriteback:
+    def test_dirty_page_written_back_on_eviction(self):
+        pool, disk = make_pool(pages=2, limit_pages=2)
+        first, view = pool.new_page("d")
+        view[0] = 0xAB
+        pool.unfix("d", first, dirty=True)
+        # Fill the pool so the first page is evicted.
+        for _ in range(3):
+            page_no, _ = pool.new_page("d")
+            pool.unfix("d", page_no, dirty=True)
+        assert disk.stats.counters("d").writes >= 1
+        # Re-reading returns the written contents.
+        assert bytes(pool.fix("d", first)[:1]) == b"\xab"
+        pool.unfix("d", first)
+
+    def test_pool_shrinks_back_to_buffer_size_after_unfix(self):
+        pool, _ = make_pool(pages=2, limit_pages=6)
+        pages = []
+        for _ in range(5):
+            page_no, _ = pool.new_page("d")
+            pages.append(page_no)
+        assert pool.bytes_in_use == 5 * 1024  # grown past buffer_size
+        for page_no in pages:
+            pool.unfix("d", page_no, dirty=True)
+        assert pool.bytes_in_use <= 2 * 1024
+
+    def test_exhausted_pool_raises(self):
+        pool, _ = make_pool(pages=2, limit_pages=2)
+        pool.new_page("d")
+        pool.new_page("d")
+        with pytest.raises(BufferPoolError):
+            pool.new_page("d")
+
+    def test_discard_drops_clean_page_without_writeback(self):
+        pool, disk = make_pool()
+        page_no, _ = pool.new_page("d")
+        pool.unfix("d", page_no, dirty=True, discard=True)
+        writes_after_discard = disk.stats.counters("d").writes
+        assert writes_after_discard == 1  # the dirty new page must reach disk
+        # A clean re-fix + discard writes nothing further.
+        pool.fix("d", page_no)
+        pool.unfix("d", page_no, discard=True)
+        assert disk.stats.counters("d").writes == writes_after_discard
+
+
+class TestVirtualDevices:
+    def test_virtual_pages_never_touch_disk(self):
+        pool, disk = make_pool()
+        pool.create_virtual_device("v", 1024)
+        page_no, view = pool.new_page("v")
+        view[0] = 1
+        pool.unfix("v", page_no)
+        assert disk.stats.totals().transfers == 0
+        assert pool.is_virtual("v") and not pool.is_virtual("d")
+
+    def test_virtual_page_readable_while_buffered(self):
+        pool, _ = make_pool()
+        pool.create_virtual_device("v", 1024)
+        page_no, view = pool.new_page("v")
+        view[0] = 9
+        pool.unfix("v", page_no)
+        assert bytes(pool.fix("v", page_no)[:1]) == b"\x09"
+        pool.unfix("v", page_no)
+
+    def test_discarded_virtual_page_disappears(self):
+        pool, _ = make_pool()
+        pool.create_virtual_device("v", 1024)
+        page_no, _ = pool.new_page("v")
+        pool.unfix("v", page_no, discard=True)
+        with pytest.raises(BufferPoolError):
+            pool.fix("v", page_no)
+
+    def test_evicted_virtual_page_is_lost(self):
+        pool, _ = make_pool(pages=1, limit_pages=1)
+        pool.create_virtual_device("v", 1024)
+        page_no, _ = pool.new_page("v")
+        pool.unfix("v", page_no)
+        other, _ = pool.new_page("d")  # forces eviction of the virtual page
+        pool.unfix("d", other, dirty=True)
+        with pytest.raises(BufferPoolError):
+            pool.fix("v", page_no)
+
+
+class TestMaintenance:
+    def test_flush_device_writes_dirty_frames(self):
+        pool, disk = make_pool()
+        page_no, view = pool.new_page("d")
+        view[0] = 0x55
+        pool.unfix("d", page_no, dirty=True)
+        pool.flush_device("d")
+        assert disk.read_page(page_no)[0] == 0x55
+
+    def test_forget_page_drops_without_writeback(self):
+        pool, disk = make_pool()
+        page_no, _ = pool.new_page("d")
+        pool.unfix("d", page_no, dirty=True)
+        pool.forget_page("d", page_no)
+        assert disk.stats.counters("d").writes == 0
+
+    def test_forget_fixed_page_rejected(self):
+        pool, _ = make_pool()
+        page_no, _ = pool.new_page("d")
+        with pytest.raises(BufferPoolError):
+            pool.forget_page("d", page_no)
+        pool.unfix("d", page_no, dirty=True)
+
+    def test_hit_ratio(self):
+        pool, disk = make_pool()
+        page_no = disk.allocate_page()
+        disk.write_page(page_no, bytes(1024))
+        pool.fix("d", page_no)
+        pool.unfix("d", page_no)
+        pool.fix("d", page_no)
+        pool.unfix("d", page_no)
+        assert pool.stats.hit_ratio == pytest.approx(0.5)

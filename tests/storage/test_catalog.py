@@ -1,0 +1,72 @@
+"""Tests for the catalog and the Relation <-> HeapFile bridge."""
+
+import pytest
+
+from repro.errors import StorageError
+from repro.relalg.relation import Relation
+from repro.relalg.schema import Attribute, DataType, Schema
+
+
+class TestStoreAndLoad:
+    def test_roundtrip(self, catalog, transcript):
+        stored = catalog.store(transcript)
+        assert stored.record_count == len(transcript)
+        assert stored.to_relation().bag_equal(transcript)
+
+    def test_scan_rows_decodes(self, catalog, courses):
+        stored = catalog.store(courses)
+        rows = [row for _, row in stored.scan_rows()]
+        assert rows == courses.rows
+
+    def test_string_attributes_roundtrip(self, catalog):
+        schema = Schema((Attribute("name", DataType.STRING, 12), Attribute("n")))
+        relation = Relation(schema, [("Ann", 1), ("Barb", 2)], name="people")
+        stored = catalog.store(relation)
+        assert stored.to_relation().bag_equal(relation)
+
+    def test_cold_store_forces_read_io_on_scan(self, ctx, catalog, transcript):
+        stored = catalog.store(transcript, cold=True)
+        ctx.io_stats.reset()
+        stored.to_relation()
+        assert ctx.io_stats.counters("data").reads == stored.page_count
+
+    def test_warm_store_scans_from_buffer(self, ctx, catalog, transcript):
+        stored = catalog.store(transcript, cold=False)
+        ctx.io_stats.reset()
+        stored.to_relation()
+        assert ctx.io_stats.counters("data").reads == 0
+
+
+class TestRegistry:
+    def test_names_and_contains(self, catalog, transcript, courses):
+        catalog.store(transcript)
+        catalog.store(courses)
+        assert set(catalog.names()) == {"transcript", "courses"}
+        assert "transcript" in catalog and "nope" not in catalog
+
+    def test_get_unknown_raises(self, catalog):
+        with pytest.raises(StorageError):
+            catalog.get("missing")
+
+    def test_duplicate_name_rejected(self, catalog, courses):
+        catalog.store(courses)
+        with pytest.raises(StorageError):
+            catalog.store(courses)
+
+    def test_anonymous_relation_needs_explicit_name(self, catalog):
+        anonymous = Relation.of_ints(("a",), [(1,)])
+        with pytest.raises(StorageError):
+            catalog.store(anonymous)
+        catalog.store(anonymous, name="named")
+        assert "named" in catalog
+
+    def test_drop_frees_pages(self, catalog, ctx, transcript):
+        catalog.store(transcript)
+        catalog.drop("transcript")
+        assert "transcript" not in catalog
+        assert ctx.data_disk.page_count == 0
+
+    def test_create_empty(self, catalog):
+        stored = catalog.create("empty", Schema.of_ints("a"))
+        assert stored.record_count == 0
+        assert stored.to_relation().rows == []

@@ -1,0 +1,111 @@
+"""Tests for slotted pages."""
+
+import pytest
+
+from repro.errors import PageError, RecordNotFoundError
+from repro.storage.page import HEADER_SIZE, SLOT_SIZE, SlottedPage
+
+
+@pytest.fixture
+def page():
+    return SlottedPage.format(bytearray(256))
+
+
+class TestFormatAndCapacity:
+    def test_fresh_page_is_empty(self, page):
+        assert page.slot_count == 0
+        assert page.record_count == 0
+
+    def test_free_space_accounts_for_slot_entry(self, page):
+        initial = page.free_space
+        page.insert(b"x" * 10)
+        assert page.free_space == initial - 10 - SLOT_SIZE
+
+    def test_capacity_for(self):
+        capacity = SlottedPage.capacity_for(256, 16)
+        assert capacity == (256 - HEADER_SIZE) // (16 + SLOT_SIZE)
+        # And the page really holds that many.
+        page = SlottedPage.format(bytearray(256))
+        for _ in range(capacity):
+            page.insert(b"y" * 16)
+        assert not page.fits(16)
+
+    def test_too_small_page_rejected(self):
+        with pytest.raises(PageError):
+            SlottedPage(bytearray(2))
+
+
+class TestInsertGet:
+    def test_roundtrip(self, page):
+        slot = page.insert(b"hello")
+        assert bytes(page.get(slot)) == b"hello"
+
+    def test_slots_are_assigned_in_order(self, page):
+        assert page.insert(b"a") == 0
+        assert page.insert(b"bb") == 1
+        assert bytes(page.get(1)) == b"bb"
+
+    def test_variable_length_records(self, page):
+        slots = [page.insert(bytes([i]) * (i + 1)) for i in range(5)]
+        for i, slot in enumerate(slots):
+            assert bytes(page.get(slot)) == bytes([i]) * (i + 1)
+
+    def test_overfull_insert_rejected(self, page):
+        with pytest.raises(PageError):
+            page.insert(b"z" * 300)
+
+    def test_get_out_of_range(self, page):
+        with pytest.raises(RecordNotFoundError):
+            page.get(0)
+
+    def test_get_returns_view_into_buffer(self):
+        buffer = bytearray(128)
+        page = SlottedPage.format(buffer)
+        slot = page.insert(b"abc")
+        view = page.get(slot)
+        assert isinstance(view, memoryview)
+        # Mutating through the view mutates the page (zero copy).
+        view[0] = ord("X")
+        assert bytes(page.get(slot)) == b"Xbc"
+
+
+class TestDelete:
+    def test_delete_tombstones(self, page):
+        slot = page.insert(b"dead")
+        page.delete(slot)
+        assert page.record_count == 0
+        assert page.slot_count == 1
+        with pytest.raises(RecordNotFoundError):
+            page.get(slot)
+
+    def test_double_delete_rejected(self, page):
+        slot = page.insert(b"x")
+        page.delete(slot)
+        with pytest.raises(RecordNotFoundError):
+            page.delete(slot)
+
+    def test_other_records_survive_delete(self, page):
+        keep = page.insert(b"keep")
+        kill = page.insert(b"kill")
+        page.delete(kill)
+        assert bytes(page.get(keep)) == b"keep"
+
+
+class TestScan:
+    def test_records_iterates_live_records_in_slot_order(self, page):
+        page.insert(b"a")
+        dead = page.insert(b"b")
+        page.insert(b"c")
+        page.delete(dead)
+        assert [(slot, bytes(record)) for slot, record in page.records()] == [
+            (0, b"a"),
+            (2, b"c"),
+        ]
+
+    def test_reinterpreting_existing_bytes(self):
+        buffer = bytearray(128)
+        original = SlottedPage.format(buffer)
+        original.insert(b"persisted")
+        # A second view over the same bytes sees the same records.
+        reopened = SlottedPage(buffer)
+        assert [bytes(r) for _, r in reopened.records()] == [b"persisted"]

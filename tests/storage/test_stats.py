@@ -1,0 +1,85 @@
+"""Tests for I/O statistics and Table 3 costing."""
+
+import pytest
+
+from repro.storage.stats import DeviceCounters, IoStatistics, IoWeights
+
+
+class TestRecording:
+    def test_reads_and_writes_counted_separately(self):
+        stats = IoStatistics()
+        stats.record_transfer("d", 0, 1024, is_write=False)
+        stats.record_transfer("d", 1, 1024, is_write=True)
+        counters = stats.counters("d")
+        assert counters.reads == 1 and counters.writes == 1
+        assert counters.transfers == 2
+        assert counters.bytes_total == 2048
+
+    def test_devices_tracked_independently(self):
+        stats = IoStatistics()
+        stats.record_transfer("a", 0, 100, is_write=False)
+        stats.record_transfer("b", 0, 100, is_write=False)
+        assert stats.counters("a").reads == 1
+        assert stats.counters("b").reads == 1
+        assert stats.totals().reads == 2
+
+    def test_sequentiality_is_per_device(self):
+        stats = IoStatistics()
+        stats.record_transfer("a", 0, 10, is_write=False)
+        stats.record_transfer("b", 5, 10, is_write=False)
+        stats.record_transfer("a", 1, 10, is_write=False)  # sequential on a
+        assert stats.counters("a").seeks == 1
+        assert stats.counters("b").seeks == 1
+
+
+class TestCosting:
+    def test_cost_matches_table3_weights(self):
+        # One seek + one 8 KiB transfer:
+        # 20 (seek) + 8 (latency) + 2 (cpu) + 8 * 0.5 (transfer) = 34 ms.
+        stats = IoStatistics(IoWeights())
+        stats.record_transfer("d", 0, 8192, is_write=False)
+        assert stats.cost_ms() == pytest.approx(20 + 8 + 2 + 4)
+
+    def test_sequential_pages_share_the_seek(self):
+        stats = IoStatistics(IoWeights())
+        for page in range(10):
+            stats.record_transfer("d", page, 8192, is_write=False)
+        # 1 seek + 10 * (8 + 2 + 4).
+        assert stats.cost_ms() == pytest.approx(20 + 10 * 14)
+
+    def test_custom_weights(self):
+        weights = IoWeights(seek_ms=1, latency_ms_per_transfer=0,
+                            transfer_ms_per_kib=0, cpu_ms_per_transfer=0)
+        stats = IoStatistics(weights)
+        stats.record_transfer("d", 3, 1024, is_write=True)
+        assert stats.cost_ms() == 1.0
+
+    def test_per_device_cost(self):
+        stats = IoStatistics(IoWeights())
+        stats.record_transfer("a", 0, 1024, is_write=False)
+        stats.record_transfer("b", 0, 1024, is_write=False)
+        assert stats.cost_ms("a") < stats.cost_ms()
+
+
+class TestSnapshots:
+    def test_cost_since_snapshot(self):
+        stats = IoStatistics(IoWeights())
+        stats.record_transfer("d", 0, 8192, is_write=False)
+        snapshot = stats.snapshot()
+        stats.record_transfer("d", 1, 8192, is_write=False)  # sequential
+        assert stats.cost_since(snapshot) == pytest.approx(8 + 2 + 4)
+
+    def test_cost_since_sees_new_devices(self):
+        stats = IoStatistics(IoWeights())
+        snapshot = stats.snapshot()
+        stats.record_transfer("new", 0, 1024, is_write=False)
+        assert stats.cost_since(snapshot) > 0
+
+    def test_reset(self):
+        stats = IoStatistics()
+        stats.record_transfer("d", 0, 100, is_write=False)
+        stats.reset()
+        assert stats.totals() == DeviceCounters()
+        # Sequentiality state resets too: the next access seeks again.
+        stats.record_transfer("d", 1, 100, is_write=False)
+        assert stats.counters("d").seeks == 1

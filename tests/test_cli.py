@@ -1,0 +1,84 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_a_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["nonsense"])
+
+
+class TestCommands:
+    def test_figure2(self, capsys):
+        assert main(["figure2"]) == 0
+        out = capsys.readouterr().out
+        assert "Ann" in out and "Quotient" in out
+
+    def test_table1(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "RIO" in out and "Bit" in out
+
+    def test_table2(self, capsys):
+        assert main(["table2"]) == 0
+        out = capsys.readouterr().out
+        assert "paper" in out and "worst deviation" in out
+
+    def test_table3(self, capsys):
+        assert main(["table3"]) == 0
+        assert "Physical seek" in capsys.readouterr().out
+
+    def test_table4_single_point(self, capsys):
+        assert main(["table4", "--sizes", "25x25"]) == 0
+        out = capsys.readouterr().out
+        assert "hash-division" in out and "measured" in out
+
+    def test_advisor(self, capsys):
+        assert main([
+            "advisor", "--dividend", "10000", "--divisor", "100",
+            "--restricted",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "hash-division" in out
+        assert "no join" not in out  # excluded by --restricted
+
+    def test_advisor_with_duplicates(self, capsys):
+        assert main([
+            "advisor", "--dividend", "10000", "--divisor", "100",
+            "--duplicates",
+        ]) == 0
+        assert "duplicate" in capsys.readouterr().out
+
+    def test_parallel(self, capsys):
+        assert main([
+            "parallel", "--processors", "4", "--divisor", "20",
+            "--quotient", "50",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "elapsed" in out and "network" in out
+
+    def test_parallel_with_bitvector(self, capsys):
+        assert main([
+            "parallel", "--processors", "4", "--divisor", "20",
+            "--quotient", "50", "--bitvector", "1024",
+        ]) == 0
+        assert "filtered" in capsys.readouterr().out
+
+
+class TestTraceCommand:
+    def test_trace_narrates_figure2(self, capsys):
+        assert main(["trace"]) == 0
+        out = capsys.readouterr().out
+        assert "assign-divisor-number" in out
+        assert "('Ann',)" in out
+
+    def test_bad_sizes_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["table4", "--sizes", "25by25"])

@@ -1,0 +1,68 @@
+"""Tests for the metering primitives."""
+
+import pytest
+
+from repro.metering import CpuCounters, MeterReading
+
+
+class TestMeterReading:
+    def test_total(self):
+        reading = MeterReading(cpu_ms=10.0, io_ms=5.0)
+        assert reading.total_ms == 15.0
+
+    def test_addition_merges_details(self):
+        a = MeterReading(1.0, 2.0, {"sort": 1.0})
+        b = MeterReading(3.0, 4.0, {"sort": 2.0, "scan": 5.0})
+        merged = a + b
+        assert merged.cpu_ms == 4.0
+        assert merged.io_ms == 6.0
+        assert merged.detail == {"sort": 3.0, "scan": 5.0}
+
+    def test_defaults(self):
+        assert MeterReading().total_ms == 0.0
+
+
+class TestCpuCountersReset:
+    def test_reset_zeroes_everything(self):
+        counters = CpuCounters(comparisons=1, hashes=2, moves=3.0, bit_ops=4)
+        counters.reset()
+        assert counters == CpuCounters()
+
+    def test_delta_roundtrip(self):
+        counters = CpuCounters(comparisons=10)
+        snap = counters.snapshot()
+        counters.comparisons += 7
+        counters.bit_ops += 3
+        delta = counters.delta_since(snap)
+        assert delta == CpuCounters(comparisons=7, bit_ops=3)
+
+
+class TestErrorsHierarchy:
+    def test_every_error_is_a_repro_error(self):
+        import inspect
+
+        from repro import errors
+
+        classes = [
+            obj
+            for _name, obj in inspect.getmembers(errors, inspect.isclass)
+            if issubclass(obj, Exception)
+        ]
+        assert len(classes) > 10
+        for cls in classes:
+            assert issubclass(cls, errors.ReproError), cls
+
+    def test_overflow_is_an_execution_error(self):
+        from repro.errors import ExecutionError, HashTableOverflowError
+
+        assert issubclass(HashTableOverflowError, ExecutionError)
+
+    def test_catching_the_base_class(self):
+        from repro import Relation, divide
+        from repro.errors import ReproError
+
+        with pytest.raises(ReproError):
+            divide(
+                Relation.of_ints(("a",), []),
+                Relation.of_ints(("b",), []),
+            )

@@ -1,0 +1,117 @@
+"""Tests for the synthetic workload generators."""
+
+import pytest
+
+from repro import divide
+from repro.errors import WorkloadError
+from repro.relalg import algebra
+from repro.workloads.synthetic import (
+    make_exact_division,
+    make_with_duplicates,
+    make_with_nonmatching,
+    make_with_partial_quotients,
+)
+
+
+class TestExactDivision:
+    def test_cardinalities_match_assumed_case(self):
+        dividend, divisor = make_exact_division(25, 100)
+        assert len(divisor) == 25
+        assert len(dividend) == 25 * 100  # R = Q x S
+
+    def test_record_shapes_match_paper(self):
+        dividend, divisor = make_exact_division(5, 5)
+        assert dividend.schema.record_size == 16
+        assert divisor.schema.record_size == 8
+
+    def test_quotient_is_every_candidate(self):
+        dividend, divisor = make_exact_division(10, 30, seed=3)
+        quotient = divide(dividend, divisor)
+        assert quotient.as_set() == {(q,) for q in range(30)}
+
+    def test_shuffle_determinism(self):
+        a, _ = make_exact_division(5, 5, seed=1)
+        b, _ = make_exact_division(5, 5, seed=1)
+        assert a.rows == b.rows
+        c, _ = make_exact_division(5, 5, seed=2)
+        assert a.rows != c.rows
+
+    def test_no_shuffle_is_product_order(self):
+        dividend, _ = make_exact_division(2, 2, shuffle=False)
+        assert [row[0] for row in dividend.rows] == [0, 0, 1, 1]
+
+    def test_negative_sizes_rejected(self):
+        with pytest.raises(WorkloadError):
+            make_exact_division(-1, 5)
+
+
+class TestNonMatching:
+    def test_extra_tuples_added(self):
+        dividend, divisor = make_with_nonmatching(5, 10, nonmatching_fraction=0.5)
+        assert len(dividend) == 50 + 25
+
+    def test_quotient_unchanged(self):
+        dividend, divisor = make_with_nonmatching(5, 10, nonmatching_fraction=1.0)
+        quotient = divide(dividend, divisor)
+        assert quotient.as_set() == {(q,) for q in range(10)}
+
+    def test_nonmatching_values_disjoint_from_divisor(self):
+        dividend, divisor = make_with_nonmatching(5, 10, nonmatching_fraction=0.5)
+        divisor_values = {d for (d,) in divisor}
+        extra = [d for _, d in dividend.rows if d not in divisor_values]
+        assert extra and all(d >= 9_000_000 for d in extra)
+
+    def test_negative_fraction_rejected(self):
+        with pytest.raises(WorkloadError):
+            make_with_nonmatching(5, 5, nonmatching_fraction=-0.1)
+
+
+class TestPartialQuotients:
+    def test_expected_quotient_size(self):
+        dividend, divisor, complete = make_with_partial_quotients(
+            8, 50, complete_fraction=0.4, seed=5
+        )
+        assert complete == 20
+        quotient = divide(dividend, divisor)
+        assert len(quotient) == complete
+        assert quotient.as_set() == {(q,) for q in range(complete)}
+
+    def test_matches_oracle(self):
+        dividend, divisor, _ = make_with_partial_quotients(6, 30, 0.5, seed=7)
+        expected = algebra.divide_set_semantics(dividend, divisor)
+        assert divide(dividend, divisor).set_equal(expected)
+
+    def test_all_complete(self):
+        dividend, divisor, complete = make_with_partial_quotients(4, 10, 1.0)
+        assert complete == 10
+        assert len(divide(dividend, divisor)) == 10
+
+    def test_fraction_validated(self):
+        with pytest.raises(WorkloadError):
+            make_with_partial_quotients(4, 10, 1.5)
+
+    def test_empty_divisor_rejected(self):
+        with pytest.raises(WorkloadError):
+            make_with_partial_quotients(0, 10, 0.5)
+
+
+class TestDuplicates:
+    def test_duplicates_added_but_quotient_stable(self):
+        dividend, divisor = make_with_duplicates(5, 10, duplication_factor=1.0)
+        assert len(dividend) == 100  # every tuple duplicated once
+        assert dividend.has_duplicates()
+        quotient = divide(dividend, divisor)  # hash-division: duplicate-safe
+        assert quotient.as_set() == {(q,) for q in range(10)}
+
+    def test_fractional_duplication(self):
+        dividend, _ = make_with_duplicates(5, 10, duplication_factor=0.5, seed=9)
+        assert 50 < len(dividend) < 100
+
+    def test_zero_duplication_is_exact_case(self):
+        dividend, _ = make_with_duplicates(5, 10, duplication_factor=0.0)
+        assert len(dividend) == 50
+        assert not dividend.has_duplicates()
+
+    def test_negative_factor_rejected(self):
+        with pytest.raises(WorkloadError):
+            make_with_duplicates(5, 5, duplication_factor=-1)

@@ -1,0 +1,72 @@
+"""Tests for the Zipf-skewed workload generator."""
+
+import pytest
+
+from repro import divide
+from repro.errors import WorkloadError
+from repro.workloads.zipf import make_zipf_enrollment, zipf_weights
+
+
+class TestWeights:
+    def test_normalized(self):
+        weights = zipf_weights(10, 1.0)
+        assert sum(weights) == pytest.approx(1.0)
+
+    def test_skew_zero_is_uniform(self):
+        weights = zipf_weights(5, 0.0)
+        assert all(w == pytest.approx(0.2) for w in weights)
+
+    def test_higher_skew_concentrates_mass(self):
+        mild = zipf_weights(100, 0.5)
+        strong = zipf_weights(100, 2.0)
+        assert strong[0] > mild[0]
+        assert strong[-1] < mild[-1]
+
+    def test_monotone_decreasing(self):
+        weights = zipf_weights(20, 1.0)
+        assert all(a >= b for a, b in zip(weights, weights[1:]))
+
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            zipf_weights(0, 1.0)
+        with pytest.raises(WorkloadError):
+            zipf_weights(5, -1.0)
+
+
+class TestEnrollment:
+    def test_shapes(self):
+        dividend, divisor, guaranteed = make_zipf_enrollment(
+            divisor_tuples=20,
+            quotient_candidates=50,
+            enrollments_per_candidate=5,
+            completionists=3,
+            seed=1,
+        )
+        assert len(divisor) == 20
+        assert guaranteed == 3
+        # 3 completionists x 20 + 47 x 5 enrolments.
+        assert len(dividend) == 3 * 20 + 47 * 5
+
+    def test_completionists_qualify(self):
+        dividend, divisor, guaranteed = make_zipf_enrollment(
+            10, 30, 4, completionists=5, seed=2
+        )
+        quotient = divide(dividend, divisor)
+        assert {(q,) for q in range(5)} <= quotient.as_set()
+
+    def test_skew_makes_popular_values_common(self):
+        dividend, _, _ = make_zipf_enrollment(
+            50, 200, 5, skew=2.0, seed=3
+        )
+        from collections import Counter
+
+        counts = Counter(d for _, d in dividend.rows)
+        most_common = counts.most_common(1)[0][1]
+        least_common = min(counts.values()) if counts else 0
+        assert most_common > 5 * max(1, least_common)
+
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            make_zipf_enrollment(5, 10, 6)  # more enrolments than values
+        with pytest.raises(WorkloadError):
+            make_zipf_enrollment(5, 10, 3, completionists=11)
