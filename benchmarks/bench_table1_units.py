@@ -9,10 +9,21 @@ from repro.experiments import table1
 from repro.metering import CpuCounters
 
 
-def bench_table1_cost_units(benchmark, write_result):
+def bench_table1_cost_units(benchmark, write_result, export_bench):
     counters = CpuCounters(comparisons=10_000, hashes=5_000, moves=12.5, bit_ops=100_000)
 
     result = benchmark(PAPER_UNITS.cpu_cost_ms, counters)
 
     assert result == 10_000 * 0.03 + 5_000 * 0.03 + 12.5 * 0.4 + 100_000 * 0.003
     write_result("table1_units", table1.render())
+    export_bench(
+        "table1_units",
+        {
+            "cpu_model_ms": result,
+            "comparisons": counters.comparisons,
+            "hashes": counters.hashes,
+            "moves": counters.moves,
+            "bit_ops": counters.bit_ops,
+        },
+        workload="fixed CpuCounters weighting hot path",
+    )

@@ -18,7 +18,7 @@ from repro.experiments import table4
 from repro.experiments.runner import STRATEGIES
 
 
-def bench_table4_smallest_point(benchmark, write_result):
+def bench_table4_smallest_point(benchmark, write_result, export_bench):
     """The (25, 25) point -- the paper's "even for small relation
     sizes" observation (a ~3x spread on the MicroVAX)."""
     row = once(benchmark, lambda: table4.run_point(25, 25))
@@ -28,6 +28,11 @@ def bench_table4_smallest_point(benchmark, write_result):
     assert min(totals, key=totals.get) == "hash-agg no join"
     assert max(totals, key=totals.get) == "sort-agg with join"
     write_result("table4_smallest_point", table4.render([row]))
+    export_bench(
+        "table4_smallest_point",
+        {f"total_model_ms[{s}]": totals[s] for s in STRATEGIES},
+        size_point="|S|=25, |Q|=25",
+    )
 
 
 def bench_table4_full_grid(benchmark, write_result):

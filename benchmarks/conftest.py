@@ -3,6 +3,11 @@
 Each benchmark regenerates one of the paper's tables (or an ablation)
 and writes its rendered output to ``benchmarks/results/<name>.txt`` so
 EXPERIMENTS.md can reference concrete, reproducible artifacts.
+
+Numeric results additionally go to ``benchmarks/results/BENCH_<name>.json``
+via the :func:`export_bench` fixture (schema: ``repro.obs.export``), so
+the performance trajectory can be tracked run over run by tooling that
+never parses the rendered text tables.
 """
 
 from __future__ import annotations
@@ -10,6 +15,8 @@ from __future__ import annotations
 from pathlib import Path
 
 import pytest
+
+from repro.obs.export import write_bench_json
 
 RESULTS_DIR = Path(__file__).parent / "results"
 
@@ -25,6 +32,28 @@ def write_result():
         print(text)
 
     return write
+
+
+@pytest.fixture
+def export_bench():
+    """Write a schema-valid ``BENCH_<name>.json`` under the results dir.
+
+    Usage::
+
+        export_bench("table1_units", {"cpu_model_ms": result})
+
+    The payload is validated by :func:`repro.obs.export.write_bench_json`
+    (all metric values must be finite numbers) and the written path is
+    returned so tests can read it back.
+    """
+
+    def export(name: str, metrics: dict, profile=None, **extra) -> Path:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        return write_bench_json(
+            RESULTS_DIR, name, metrics, profile=profile, extra=extra or None
+        )
+
+    return export
 
 
 def once(benchmark, function):

@@ -63,10 +63,17 @@ from repro.core import (
     sort_aggregate_division,
 )
 from repro.executor.iterator import ExecContext, run_to_relation
-from repro.query import ContainsQuery, Query
+from repro.obs import (
+    FakeClock,
+    MetricsRegistry,
+    QueryProfile,
+    Tracer,
+    build_profile,
+)
+from repro.query import ContainsQuery, ProfiledResult, Query
 from repro.storage import StorageConfig
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "__version__",
@@ -106,4 +113,11 @@ __all__ = [
     "StorageConfig",
     "CpuCounters",
     "MeterReading",
+    # observability (repro.obs)
+    "Tracer",
+    "FakeClock",
+    "MetricsRegistry",
+    "QueryProfile",
+    "ProfiledResult",
+    "build_profile",
 ]

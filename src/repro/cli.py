@@ -6,14 +6,16 @@ Examples::
     python -m repro table1
     python -m repro table2
     python -m repro table3
-    python -m repro table4 --sizes 25x25,100x100
+    python -m repro table4 --sizes 25x25,100x100 [--profile]
     python -m repro advisor --dividend 160000 --divisor 400 --restricted
     python -m repro parallel --processors 8 --strategy divisor
+    python -m repro profile --strategy hash-division --divisor 25 --quotient 25
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import Sequence
 
@@ -75,8 +77,54 @@ def _cmd_table4(args: argparse.Namespace) -> None:
     rows = []
     for s, q in sizes:
         print(f"running |S|={s}, |Q|={q} ...", file=sys.stderr)
-        rows.append(table4.run_point(s, q))
+        rows.append(table4.run_point(s, q, profile=args.profile))
     print(table4.render(rows))
+    if args.profile:
+        for row in rows:
+            for strategy, run in row.runs.items():
+                if run.profile is None:
+                    continue
+                print()
+                print(
+                    f"-- profile: |S|={row.divisor_tuples} "
+                    f"|Q|={row.quotient_tuples} {strategy}"
+                )
+                print(run.profile.render())
+
+
+def _cmd_profile(args: argparse.Namespace) -> None:
+    from repro.experiments.runner import run_strategy_on_relations
+    from repro.obs import Tracer, profile_to_json, render_prometheus
+    from repro.workloads.synthetic import make_exact_division
+    from repro.workloads.university import figure2_courses, figure2_transcript
+
+    if args.workload == "figure2":
+        dividend, divisor = figure2_transcript(), figure2_courses()
+        expected_quotient = 1
+    else:
+        dividend, divisor = make_exact_division(
+            args.divisor, args.quotient, seed=args.seed
+        )
+        expected_quotient = args.quotient
+    tracer = Tracer()
+    run = run_strategy_on_relations(
+        args.strategy,
+        dividend,
+        divisor,
+        expected_quotient=expected_quotient,
+        tracer=tracer,
+    )
+    assert run.profile is not None  # recording tracer was supplied
+    if args.format == "json":
+        print(profile_to_json(run.profile))
+    elif args.format == "prom":
+        print(render_prometheus(tracer.metrics), end="")
+    else:
+        print(
+            f"division: {args.strategy}  |R|={run.dividend_tuples} "
+            f"|S|={run.divisor_tuples} -> quotient {run.quotient_tuples} tuples"
+        )
+        print(run.profile.render())
 
 
 def _cmd_advisor(args: argparse.Namespace) -> None:
@@ -123,10 +171,15 @@ def _cmd_parallel(args: argparse.Namespace) -> None:
 
 def build_parser() -> argparse.ArgumentParser:
     """Construct the CLI argument parser."""
+    from repro import __version__
+
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Relational division: four algorithms and their performance "
         "(reproduction CLI).",
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"repro {__version__}"
     )
     commands = parser.add_subparsers(dest="command", required=True)
 
@@ -154,7 +207,50 @@ def build_parser() -> argparse.ArgumentParser:
         help="comma-separated |S|x|Q| points, e.g. 25x25,100x100 "
         "(default: the paper's nine points)",
     )
+    table4_parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="run each strategy under the tracer and print its "
+        "EXPLAIN ANALYZE operator tree",
+    )
     table4_parser.set_defaults(handler=_cmd_table4)
+
+    profile_parser = commands.add_parser(
+        "profile",
+        help="EXPLAIN ANALYZE one division strategy (repro.obs)",
+        description="Run one division strategy over cold stored relations "
+        "under the span tracer and render the per-operator profile: rows, "
+        "next() calls, Comp/Hash/Move/Bit deltas, buffer and I/O activity, "
+        "and Table 1/Table 3 model milliseconds.",
+    )
+    from repro.experiments.runner import STRATEGIES
+
+    profile_parser.add_argument(
+        "--strategy",
+        choices=STRATEGIES,
+        default="hash-division",
+        help="division strategy to profile (default: hash-division)",
+    )
+    profile_parser.add_argument(
+        "--workload",
+        choices=("figure2", "synthetic"),
+        default="figure2",
+        help="the paper's worked example, or an R = Q x S workload",
+    )
+    profile_parser.add_argument(
+        "--divisor", type=int, default=25, help="|S| for --workload synthetic"
+    )
+    profile_parser.add_argument(
+        "--quotient", type=int, default=25, help="|Q| for --workload synthetic"
+    )
+    profile_parser.add_argument("--seed", type=int, default=0)
+    profile_parser.add_argument(
+        "--format",
+        choices=("tree", "json", "prom"),
+        default="tree",
+        help="profile tree, JSON document, or Prometheus text metrics",
+    )
+    profile_parser.set_defaults(handler=_cmd_profile)
 
     advisor_parser = commands.add_parser(
         "advisor", help="rank strategies for given input estimates"
@@ -182,8 +278,23 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: Sequence[str] | None = None) -> int:
-    """CLI entry point; returns a process exit code."""
+    """CLI entry point; returns a process exit code.
+
+    A closed output pipe (``repro table4 | head``) is a normal way for
+    a consumer to stop reading, not a crash: the handler's
+    ``BrokenPipeError`` is swallowed, stdout is redirected to devnull
+    so the interpreter's exit-time flush cannot raise again, and the
+    conventional ``128 + SIGPIPE`` exit code is returned.
+    """
     parser = build_parser()
     args = parser.parse_args(argv)
-    args.handler(args)
+    try:
+        args.handler(args)
+    except BrokenPipeError:
+        try:
+            devnull = os.open(os.devnull, os.O_WRONLY)
+            os.dup2(devnull, sys.stdout.fileno())
+        except (OSError, ValueError):  # pragma: no cover - capture objects
+            pass
+        return 128 + 13  # SIGPIPE
     return 0

@@ -94,23 +94,40 @@ class _AggregateDivisionBase(QueryIterator):
         re-reading the base relation.  Duplicate elimination here is
         the "explicitly requested" uniqueness of footnote 1.
         """
-        self.divisor.open()
-        try:
-            rows = list(self.divisor)
-        finally:
-            self.divisor.close()
-        if self.eliminate_duplicates:
-            rows = list(dict.fromkeys(rows))
-            # One comparison per tuple for the uniqueness check.
-            self.ctx.cpu.comparisons += len(rows)
-        divisor_relation = Relation(self.divisor.schema, rows, name="divisor")
-        self.divisor_count = len(divisor_relation)
+        tracer = self.ctx.tracer
+        with tracer.span("aggregate_division.count_divisor") as span:
+            self.divisor.open()
+            try:
+                rows = list(self.divisor)
+            finally:
+                self.divisor.close()
+            if self.eliminate_duplicates:
+                rows = list(dict.fromkeys(rows))
+                # One comparison per tuple for the uniqueness check.
+                self.ctx.cpu.comparisons += len(rows)
+            divisor_relation = Relation(self.divisor.schema, rows, name="divisor")
+            self.divisor_count = len(divisor_relation)
+            span.annotate(divisor_tuples=self.divisor_count)
+        tracer.count(
+            "repro_division_divisor_tuples_total",
+            self.divisor_count,
+            algorithm=self._algorithm_label(),
+        )
         if self.divisor_count == 0:
             raise DivisionError(
                 "division by aggregation cannot express a vacuous for-all "
                 "(empty divisor); use hash_division or naive_division"
             )
         return divisor_relation
+
+    def _algorithm_label(self) -> str:
+        """Metric label: strategy family plus the join variant."""
+        family = (
+            "sort-aggregate"
+            if isinstance(self, SortAggregateDivision)
+            else "hash-aggregate"
+        )
+        return f"{family} {'with join' if self.with_join else 'no join'}"
 
     # -- step 3: final selection -----------------------------------------
 
@@ -129,6 +146,11 @@ class _AggregateDivisionBase(QueryIterator):
         if self._counts is not None:
             self._counts.close()
             self._counts = None
+        self.ctx.tracer.count(
+            "repro_division_quotient_tuples_total",
+            self.rows_produced,
+            algorithm=self._algorithm_label(),
+        )
 
     def children(self) -> tuple[QueryIterator, ...]:
         return (self.dividend, self.divisor)
@@ -175,7 +197,10 @@ class SortAggregateDivision(_AggregateDivisionBase):
                 key_names=self.quotient_names,
                 reducer=count_reducer(self.dividend.schema, self.quotient_names),
             )
-        counts.open()
+        with self.ctx.tracer.span(
+            "aggregate_division.aggregate_dividend", strategy=self._algorithm_label()
+        ):
+            counts.open()
         self._counts = counts
 
     def describe(self) -> str:
@@ -224,7 +249,10 @@ class HashAggregateDivision(_AggregateDivisionBase):
             self.quotient_names,
             expected_groups=self.expected_quotient,
         )
-        counts.open()
+        with self.ctx.tracer.span(
+            "aggregate_division.aggregate_dividend", strategy=self._algorithm_label()
+        ):
+            counts.open()
         self._counts = counts
 
     def describe(self) -> str:

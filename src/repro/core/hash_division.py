@@ -109,8 +109,15 @@ class HashDivision(QueryIterator):
     # -- protocol ----------------------------------------------------------
 
     def _open(self) -> None:
+        tracer = self.ctx.tracer
         try:
-            self._build_divisor_table()
+            with tracer.span("hash_division.build_divisor_table"):
+                self._build_divisor_table()
+            tracer.count(
+                "repro_division_divisor_tuples_total",
+                self._divisor_count,
+                algorithm="hash-division",
+            )
             self._make_quotient_table()
             if self.early_output:
                 # Step 2 runs lazily inside next(); the dividend is
@@ -118,16 +125,26 @@ class HashDivision(QueryIterator):
                 self.dividend.open()
                 self._output = None
             else:
-                self.dividend.open()
-                try:
-                    consume = self._consume_tuple
-                    while True:
-                        row = self.dividend.next()
-                        if row is None:
-                            break
-                        consume(row)
-                finally:
-                    self.dividend.close()
+                with tracer.span("hash_division.consume_dividend") as span:
+                    self.dividend.open()
+                    try:
+                        consume = self._consume_tuple
+                        while True:
+                            row = self.dividend.next()
+                            if row is None:
+                                break
+                            consume(row)
+                    finally:
+                        self.dividend.close()
+                    span.annotate(
+                        dividend_tuples=self.dividend.rows_produced,
+                        quotient_candidates=len(self._quotient_table),
+                    )
+                tracer.count(
+                    "repro_division_quotient_candidates_total",
+                    len(self._quotient_table),
+                    algorithm="hash-division",
+                )
                 self._free_divisor_table()
                 self._output = self._scan_quotient_table()
         except HashTableOverflowError:
@@ -154,6 +171,11 @@ class HashDivision(QueryIterator):
             self.dividend.close()
         self._release_tables()
         self._output = None
+        self.ctx.tracer.count(
+            "repro_division_quotient_tuples_total",
+            self.rows_produced,
+            algorithm="hash-division",
+        )
 
     def _release_tables(self) -> None:
         self._free_divisor_table()

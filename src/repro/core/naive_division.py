@@ -62,23 +62,31 @@ class NaiveDivision(QueryIterator):
         self._done = False
 
     def _open(self) -> None:
-        self.divisor.open()
-        try:
-            self._divisor_list = []
-            previous: tuple | None = None
-            for row in self.divisor:
-                value = tuple(row)
-                if previous is not None:
-                    self.ctx.cpu.comparisons += 1
-                    if value <= previous:
-                        raise DivisionError(
-                            "naive division requires a sorted, duplicate-free "
-                            f"divisor; saw {value!r} after {previous!r}"
-                        )
-                previous = value
-                self._divisor_list.append(value)
-        finally:
-            self.divisor.close()
+        tracer = self.ctx.tracer
+        with tracer.span("naive_division.load_divisor_list") as span:
+            self.divisor.open()
+            try:
+                self._divisor_list = []
+                previous: tuple | None = None
+                for row in self.divisor:
+                    value = tuple(row)
+                    if previous is not None:
+                        self.ctx.cpu.comparisons += 1
+                        if value <= previous:
+                            raise DivisionError(
+                                "naive division requires a sorted, duplicate-free "
+                                f"divisor; saw {value!r} after {previous!r}"
+                            )
+                    previous = value
+                    self._divisor_list.append(value)
+            finally:
+                self.divisor.close()
+            span.annotate(divisor_tuples=len(self._divisor_list))
+        tracer.count(
+            "repro_division_divisor_tuples_total",
+            len(self._divisor_list),
+            algorithm="naive",
+        )
         self.dividend.open()
         self._pending = None
         self._done = False
@@ -127,6 +135,11 @@ class NaiveDivision(QueryIterator):
         self.dividend.close()
         self._divisor_list = []
         self._pending = None
+        self.ctx.tracer.count(
+            "repro_division_quotient_tuples_total",
+            self.rows_produced,
+            algorithm="naive",
+        )
 
     def children(self) -> tuple[QueryIterator, ...]:
         return (self.dividend, self.divisor)

@@ -27,6 +27,7 @@ from typing import Iterator, Optional
 
 from repro.errors import ExecutionError
 from repro.metering import CpuCounters
+from repro.obs.span import NULL_TRACER
 from repro.relalg.relation import Relation
 from repro.relalg.schema import Schema
 from repro.relalg.tuples import Row
@@ -45,6 +46,9 @@ class ExecContext:
         config: Physical storage parameters.
         memory_budget: Byte budget for in-memory hash tables and bit
             maps; ``None`` means unbounded.
+        tracer: Optional :class:`repro.obs.span.Tracer` recording
+            spans, metrics, and per-operator attribution; defaults to
+            the no-op :data:`repro.obs.span.NULL_TRACER`.
 
     The context owns three devices:
 
@@ -59,10 +63,16 @@ class ExecContext:
         config: StorageConfig | None = None,
         memory_budget: int | None = None,
         storage_dir: str | None = None,
+        tracer=None,
     ) -> None:
         self.config = config or StorageConfig()
         self.io_stats = IoStatistics(self.config.io_weights)
         self.cpu = CpuCounters()
+        #: Observability hook (repro.obs): the shared no-op NULL_TRACER
+        #: by default, so un-profiled execution pays one flag test per
+        #: protocol call; pass a repro.obs.Tracer to record spans,
+        #: metrics, and per-operator meter attribution.
+        self.tracer = NULL_TRACER if tracer is None else tracer
         self.pool = BufferPool(self.config)
         self.memory = MemoryPool(memory_budget)
         if storage_dir is None:
@@ -159,7 +169,15 @@ class QueryIterator:
                 f"{type(self).__name__}.open() called in state {self._state.value}"
             )
         self.rows_produced = 0
-        self._open()
+        tracer = self.ctx.tracer
+        if tracer.enabled:
+            tracer.operator_enter(self, "open")
+            try:
+                self._open()
+            finally:
+                tracer.operator_exit(self, "open")
+        else:
+            self._open()
         self._state = _State.OPEN
 
     def next(self) -> Optional[Row]:
@@ -170,7 +188,15 @@ class QueryIterator:
             raise ExecutionError(
                 f"{type(self).__name__}.next() called in state {self._state.value}"
             )
-        row = self._next()
+        tracer = self.ctx.tracer
+        if tracer.enabled:
+            tracer.operator_enter(self, "next")
+            try:
+                row = self._next()
+            finally:
+                tracer.operator_exit(self, "next")
+        else:
+            row = self._next()
         if row is None:
             self._state = _State.FINISHED
         else:
@@ -181,7 +207,15 @@ class QueryIterator:
         """Release resources; idempotent once open."""
         if self._state is _State.CLOSED:
             raise ExecutionError(f"{type(self).__name__}.close() called while closed")
-        self._close()
+        tracer = self.ctx.tracer
+        if tracer.enabled:
+            tracer.operator_enter(self, "close")
+            try:
+                self._close()
+            finally:
+                tracer.operator_exit(self, "close")
+        else:
+            self._close()
         self._state = _State.CLOSED
 
     # -- subclass hooks -------------------------------------------------------

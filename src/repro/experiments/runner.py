@@ -11,7 +11,6 @@ paper used, with the abstract-unit meter standing in for ``getrusage``
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 
 from repro.errors import ExperimentError
@@ -23,6 +22,8 @@ from repro.core.aggregate_division import (
 )
 from repro.costmodel.units import CostUnits, PAPER_UNITS
 from repro.executor.iterator import ExecContext, QueryIterator, run_to_relation
+from repro.obs.profile import QueryProfile, build_profile
+from repro.obs.span import Clock, MONOTONIC_CLOCK
 from repro.executor.scan import StoredRelationScan
 from repro.executor.sort import ExternalSort
 from repro.relalg.algebra import division_attribute_split
@@ -52,6 +53,9 @@ class DivisionRun:
     io_ms: float
     wall_seconds: float
     io_detail: dict = field(default_factory=dict)
+    #: EXPLAIN ANALYZE operator tree, present when the run's context
+    #: carried a recording tracer (see ``repro.obs``).
+    profile: QueryProfile | None = None
 
     @property
     def total_ms(self) -> float:
@@ -135,6 +139,7 @@ def run_strategy(
     expected_quotient: int = 0,
     duplicate_free_inputs: bool = True,
     units: CostUnits = PAPER_UNITS,
+    clock: Clock | None = None,
 ) -> DivisionRun:
     """Run one strategy over stored relations and meter it.
 
@@ -143,12 +148,18 @@ def run_strategy(
     considered: for cold runs, store the relations with ``cold=True``
     immediately before each run, or use a fresh context per run as
     :func:`run_strategy_on_relations` does).
+
+    Wall time comes from ``clock`` (default: the real monotonic clock);
+    inject a :class:`repro.obs.span.FakeClock` for deterministic tests.
+    When ``ctx`` carries a recording tracer, the returned run also
+    carries the EXPLAIN ANALYZE :class:`~repro.obs.profile.QueryProfile`.
     """
+    clock = clock or MONOTONIC_CLOCK
     stored_dividend = catalog.get(dividend_name)
     stored_divisor = catalog.get(divisor_name)
     cpu_before = ctx.cpu.snapshot()
     io_before = ctx.io_stats.snapshot()
-    started = time.perf_counter()
+    started = clock.now()
     plan = build_strategy_plan(
         strategy,
         StoredRelationScan(ctx, stored_dividend),
@@ -158,9 +169,24 @@ def run_strategy(
         duplicate_free_inputs=duplicate_free_inputs,
     )
     quotient = run_to_relation(plan, name="quotient")
-    wall = time.perf_counter() - started
+    wall = clock.now() - started
     cpu_delta = ctx.cpu.delta_since(cpu_before)
     io_ms = ctx.io_stats.cost_since(io_before)
+    profile = None
+    if ctx.tracer.enabled:
+        profile = build_profile(
+            ctx.tracer, ctx, units=units, cpu=cpu_delta, io_ms=io_ms, wall_s=wall
+        )
+        metrics = ctx.tracer.metrics
+        if metrics is not None:
+            from repro.obs.metrics import absorb_cpu_counters
+
+            absorb_cpu_counters(metrics, cpu_delta, strategy=strategy)
+            metrics.gauge("repro_run_cpu_model_ms", strategy=strategy).set(
+                units.cpu_cost_ms(cpu_delta)
+            )
+            metrics.gauge("repro_run_io_model_ms", strategy=strategy).set(io_ms)
+            metrics.gauge("repro_run_wall_seconds", strategy=strategy).set(wall)
     return DivisionRun(
         strategy=strategy,
         dividend_tuples=stored_dividend.record_count,
@@ -173,6 +199,7 @@ def run_strategy(
             name: counters.transfers
             for name, counters in ctx.io_stats.devices.items()
         },
+        profile=profile,
     )
 
 
@@ -184,14 +211,18 @@ def run_strategy_on_relations(
     duplicate_free_inputs: bool = True,
     memory_budget: int | None = None,
     units: CostUnits = PAPER_UNITS,
+    clock: Clock | None = None,
+    tracer=None,
 ) -> DivisionRun:
     """Run one strategy on in-memory relations via a fresh cold context.
 
     The relations are stored on a fresh simulated disk (cold: all
     buffered pages dropped), then the strategy runs over file scans --
-    the exact setup of the paper's experiments.
+    the exact setup of the paper's experiments.  Pass a recording
+    ``tracer`` (:class:`repro.obs.span.Tracer`) to get the run's
+    EXPLAIN ANALYZE profile on ``DivisionRun.profile``.
     """
-    ctx = ExecContext(memory_budget=memory_budget)
+    ctx = ExecContext(memory_budget=memory_budget, tracer=tracer)
     catalog = Catalog(ctx.pool, ctx.data_disk)
     catalog.store(dividend, name="dividend", cold=True)
     catalog.store(divisor, name="divisor", cold=True)
@@ -206,4 +237,5 @@ def run_strategy_on_relations(
         expected_quotient=expected_quotient,
         duplicate_free_inputs=duplicate_free_inputs,
         units=units,
+        clock=clock,
     )

@@ -75,13 +75,25 @@ def run_point(
     strategies: tuple[str, ...] = STRATEGIES,
     units: CostUnits = PAPER_UNITS,
     seed: int = 0,
+    profile: bool = False,
 ) -> Table4Row:
-    """Run all strategies for one (|S|, |Q|) size point."""
+    """Run all strategies for one (|S|, |Q|) size point.
+
+    With ``profile=True`` each strategy runs under a fresh recording
+    tracer and its :class:`~repro.obs.profile.QueryProfile` is attached
+    to the run (``runs[strategy].profile``) -- the per-operator view of
+    where the cell's milliseconds went.
+    """
     runs: dict[str, DivisionRun] = {}
     for strategy in strategies:
         dividend, divisor = make_exact_division(
             divisor_tuples, quotient_tuples, seed=seed
         )
+        tracer = None
+        if profile:
+            from repro.obs.span import Tracer
+
+            tracer = Tracer()
         runs[strategy] = run_strategy_on_relations(
             strategy,
             dividend,
@@ -89,6 +101,7 @@ def run_point(
             expected_quotient=quotient_tuples,
             duplicate_free_inputs=True,
             units=units,
+            tracer=tracer,
         )
     return Table4Row(divisor_tuples, quotient_tuples, runs)
 

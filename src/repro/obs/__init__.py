@@ -1,0 +1,82 @@
+"""repro.obs -- execution observability: spans, metrics, profiles, export.
+
+The layered subsystem behind ``Query.explain_analyze()``, the
+``repro profile`` CLI command, and the ``BENCH_*.json`` benchmark
+trajectory:
+
+* :mod:`repro.obs.span` -- hierarchical span tracer with an
+  injectable clock and a zero-cost null default,
+* :mod:`repro.obs.metrics` -- counters/gauges/histograms that absorb
+  the reproduction's native meters (Table 1 CPU counters, buffer-pool
+  statistics, Table 3 I/O statistics),
+* :mod:`repro.obs.profile` -- per-operator meter attribution and the
+  EXPLAIN ANALYZE operator tree,
+* :mod:`repro.obs.export` -- JSON / Prometheus-text / ``BENCH_*.json``
+  exporters.
+"""
+
+from repro.obs.export import (
+    BENCH_SCHEMA_VERSION,
+    bench_payload,
+    load_bench_json,
+    profile_to_json,
+    registry_to_json,
+    render_prometheus,
+    validate_bench_payload,
+    write_bench_json,
+)
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsError,
+    MetricsRegistry,
+    absorb_buffer_stats,
+    absorb_context,
+    absorb_cpu_counters,
+    absorb_io_statistics,
+)
+from repro.obs.profile import (
+    OperatorStats,
+    QueryProfile,
+    build_profile,
+)
+from repro.obs.span import (
+    NULL_TRACER,
+    Clock,
+    FakeClock,
+    MonotonicClock,
+    NullTracer,
+    Span,
+    Tracer,
+)
+
+__all__ = [
+    "BENCH_SCHEMA_VERSION",
+    "Clock",
+    "Counter",
+    "FakeClock",
+    "Gauge",
+    "Histogram",
+    "MetricsError",
+    "MetricsRegistry",
+    "MonotonicClock",
+    "NULL_TRACER",
+    "NullTracer",
+    "OperatorStats",
+    "QueryProfile",
+    "Span",
+    "Tracer",
+    "absorb_buffer_stats",
+    "absorb_context",
+    "absorb_cpu_counters",
+    "absorb_io_statistics",
+    "bench_payload",
+    "build_profile",
+    "load_bench_json",
+    "profile_to_json",
+    "registry_to_json",
+    "render_prometheus",
+    "validate_bench_payload",
+    "write_bench_json",
+]

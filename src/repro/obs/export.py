@@ -1,0 +1,209 @@
+"""Machine-readable exports: JSON, Prometheus text, ``BENCH_*.json``.
+
+Three consumers:
+
+* humans and dashboards -- :func:`render_prometheus` emits the
+  registry in the Prometheus text exposition format,
+* scripts -- :func:`profile_to_json` / ``MetricsRegistry.to_dict`` give
+  plain JSON,
+* the perf trajectory -- :func:`write_bench_json` writes one
+  ``BENCH_<name>.json`` per benchmark under ``benchmarks/results/``
+  (wired through ``benchmarks/conftest.py``), and
+  :func:`load_bench_json` validates it on the way back in, so CI can
+  assert every run leaves a well-formed, comparable artifact.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import re
+import time
+from pathlib import Path
+
+from repro.obs.metrics import Histogram, MetricsRegistry
+from repro.obs.profile import QueryProfile
+
+#: Version stamp of the BENCH payload layout; bump on breaking change.
+BENCH_SCHEMA_VERSION = 1
+
+#: File-name prefix of benchmark export artifacts.
+BENCH_PREFIX = "BENCH_"
+
+_NAME_RE = re.compile(r"^[A-Za-z0-9_.\-]+$")
+
+
+# -- Prometheus text format --------------------------------------------
+
+
+def _escape_label(value: str) -> str:
+    return value.replace("\\", r"\\").replace('"', r"\"").replace("\n", r"\n")
+
+
+def _label_text(labels, extra: tuple = ()) -> str:
+    items = tuple(labels) + tuple(extra)
+    if not items:
+        return ""
+    body = ",".join(f'{key}="{_escape_label(str(val))}"' for key, val in items)
+    return "{" + body + "}"
+
+
+def _format_value(value: float) -> str:
+    if value == float("inf"):
+        return "+Inf"
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return repr(value)
+
+
+def render_prometheus(registry: MetricsRegistry) -> str:
+    """The registry in Prometheus text exposition format (0.0.4)."""
+    lines: list[str] = []
+    seen_type: set[str] = set()
+    for sample in registry.collect():
+        if sample.name not in seen_type:
+            seen_type.add(sample.name)
+            lines.append(f"# TYPE {sample.name} {sample.kind}")
+        if isinstance(sample.metric, Histogram):
+            for bound, cumulative in sample.metric.buckets():
+                le = "+Inf" if bound == float("inf") else _format_value(bound)
+                lines.append(
+                    f"{sample.name}_bucket"
+                    f"{_label_text(sample.labels, (('le', le),))} {cumulative}"
+                )
+            lines.append(
+                f"{sample.name}_sum{_label_text(sample.labels)} "
+                f"{_format_value(sample.metric.sum)}"
+            )
+            lines.append(
+                f"{sample.name}_count{_label_text(sample.labels)} "
+                f"{sample.metric.count}"
+            )
+        else:
+            lines.append(
+                f"{sample.name}{_label_text(sample.labels)} "
+                f"{_format_value(sample.metric.value)}"  # type: ignore[union-attr]
+            )
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+# -- JSON --------------------------------------------------------------
+
+
+def profile_to_json(profile: QueryProfile, indent: int = 2) -> str:
+    """A :class:`~repro.obs.profile.QueryProfile` as a JSON document."""
+    return json.dumps(profile.to_dict(), indent=indent, sort_keys=True)
+
+
+def registry_to_json(registry: MetricsRegistry, indent: int = 2) -> str:
+    """A :class:`~repro.obs.metrics.MetricsRegistry` as a JSON document."""
+    return json.dumps(registry.to_dict(), indent=indent, sort_keys=True)
+
+
+# -- BENCH_*.json ------------------------------------------------------
+
+
+def bench_payload(
+    name: str,
+    metrics: dict,
+    profile: QueryProfile | dict | None = None,
+    extra: dict | None = None,
+    created_unix: float | None = None,
+) -> dict:
+    """Build (and validate) one benchmark export payload.
+
+    Args:
+        name: Benchmark identifier (letters, digits, ``._-``).
+        metrics: Flat scalar measurements, e.g. model milliseconds per
+            strategy.  Values must be real numbers.
+        profile: Optional operator-tree profile of the measured run.
+        extra: Free-form additional JSON-compatible context.
+        created_unix: Stamp override (defaults to ``time.time()``),
+            injectable for deterministic tests.
+    """
+    payload = {
+        "schema_version": BENCH_SCHEMA_VERSION,
+        "name": name,
+        "created_unix": time.time() if created_unix is None else created_unix,
+        "paper": "Relational Division: Four Algorithms and Their Performance "
+        "(ICDE 1989)",
+        "environment": {
+            "python": platform.python_version(),
+            "implementation": platform.python_implementation(),
+        },
+        "metrics": dict(metrics),
+    }
+    if profile is not None:
+        payload["profile"] = (
+            profile.to_dict() if isinstance(profile, QueryProfile) else dict(profile)
+        )
+    if extra:
+        payload["extra"] = dict(extra)
+    validate_bench_payload(payload)
+    return payload
+
+
+def validate_bench_payload(payload: object) -> dict:
+    """Check a BENCH payload against the schema; returns it when valid.
+
+    Raises:
+        ValueError: On any structural problem, with a message naming
+            the offending field.
+    """
+    if not isinstance(payload, dict):
+        raise ValueError("BENCH payload must be a JSON object")
+    version = payload.get("schema_version")
+    if version != BENCH_SCHEMA_VERSION:
+        raise ValueError(
+            f"BENCH schema_version must be {BENCH_SCHEMA_VERSION}, got {version!r}"
+        )
+    name = payload.get("name")
+    if not isinstance(name, str) or not _NAME_RE.match(name):
+        raise ValueError(f"BENCH name must match {_NAME_RE.pattern}, got {name!r}")
+    created = payload.get("created_unix")
+    if not isinstance(created, (int, float)) or isinstance(created, bool):
+        raise ValueError("BENCH created_unix must be a number")
+    metrics = payload.get("metrics")
+    if not isinstance(metrics, dict) or not metrics:
+        raise ValueError("BENCH metrics must be a non-empty object")
+    for key, value in metrics.items():
+        if not isinstance(key, str):
+            raise ValueError(f"BENCH metric names must be strings, got {key!r}")
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            raise ValueError(f"BENCH metric {key!r} must be a number, got {value!r}")
+    if "profile" in payload and not isinstance(payload["profile"], dict):
+        raise ValueError("BENCH profile, when present, must be an object")
+    return payload
+
+
+def bench_path(directory: Path | str, name: str) -> Path:
+    """The ``BENCH_<name>.json`` path for a benchmark name."""
+    return Path(directory) / f"{BENCH_PREFIX}{name}.json"
+
+
+def write_bench_json(
+    directory: Path | str,
+    name: str,
+    metrics: dict,
+    profile: QueryProfile | dict | None = None,
+    extra: dict | None = None,
+    created_unix: float | None = None,
+) -> Path:
+    """Write one validated ``BENCH_<name>.json``; returns its path."""
+    payload = bench_payload(
+        name, metrics, profile=profile, extra=extra, created_unix=created_unix
+    )
+    path = bench_path(directory, name)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def load_bench_json(path: Path | str) -> dict:
+    """Read and validate a ``BENCH_*.json`` file from disk."""
+    raw = Path(path).read_text()
+    try:
+        payload = json.loads(raw)
+    except json.JSONDecodeError as exc:
+        raise ValueError(f"{path}: not valid JSON: {exc}") from exc
+    return validate_bench_payload(payload)

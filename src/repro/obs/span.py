@@ -1,0 +1,295 @@
+"""Hierarchical span tracing with an injectable clock.
+
+The paper's whole argument is quantitative -- Tables 1-4 compare the
+division strategies by counted operations and costed I/O -- so the
+reproduction needs *attribution*: which operator of a running plan
+spent which share of the Comp/Hash/Move/Bit budget, the buffer
+activity, and the Table 3 I/O milliseconds.  This module provides the
+substrate:
+
+* :class:`Clock` / :class:`MonotonicClock` / :class:`FakeClock` -- a
+  tiny clock abstraction so anything that measures wall time (spans,
+  the experiment runner) can be driven by a deterministic fake in
+  tests,
+* :class:`Span` -- one timed, named, attributed node in a tree,
+* :class:`Tracer` -- records spans and per-operator meter attribution
+  (see :mod:`repro.obs.profile`) and carries a
+  :class:`~repro.obs.metrics.MetricsRegistry`,
+* :class:`NullTracer` / :data:`NULL_TRACER` -- the default no-op: the
+  paper-reproduction hot paths check a single ``enabled`` flag (or run
+  a shared null context manager), so disabled tracing costs ~nothing
+  and -- crucially for the reproduction -- *counts* nothing: the
+  Comp/Hash/Move/Bit meters see identical values with tracing on or
+  off, because tracing only ever snapshots the meters, never advances
+  them.
+
+Span naming convention (see DESIGN.md): dotted lowercase
+``<area>.<phase>`` names, e.g. ``hash_division.build_divisor_table``;
+operator spans recorded through the profile machinery use the
+operator's class name.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Iterator, Optional, Protocol, runtime_checkable
+
+
+@runtime_checkable
+class Clock(Protocol):
+    """Anything with a monotonic ``now()`` in fractional seconds."""
+
+    def now(self) -> float:  # pragma: no cover - protocol
+        ...
+
+
+class MonotonicClock:
+    """The real clock: :func:`time.perf_counter`."""
+
+    def now(self) -> float:
+        """Current monotonic time in seconds."""
+        return time.perf_counter()
+
+
+class FakeClock:
+    """A deterministic clock for tests: advances only when told to.
+
+    Args:
+        start: Initial reading in seconds.
+        auto_tick: Seconds silently added on *every* :meth:`now` call;
+            handy for tests that only need strictly increasing stamps.
+    """
+
+    def __init__(self, start: float = 0.0, auto_tick: float = 0.0) -> None:
+        self._now = float(start)
+        self.auto_tick = float(auto_tick)
+
+    def now(self) -> float:
+        """Current fake time (applies ``auto_tick`` first)."""
+        self._now += self.auto_tick
+        return self._now
+
+    def advance(self, seconds: float) -> None:
+        """Move the clock forward by ``seconds``."""
+        if seconds < 0:
+            raise ValueError("a monotonic clock cannot go backwards")
+        self._now += seconds
+
+
+#: Shared default real clock.
+MONOTONIC_CLOCK = MonotonicClock()
+
+
+@dataclass
+class Span:
+    """One node of the trace tree: a named, timed, attributed interval.
+
+    Attributes:
+        name: Dotted lowercase span name (``<area>.<phase>``).
+        start_s: Clock reading when the span was opened.
+        end_s: Clock reading when it closed (``None`` while open).
+        attributes: Free-form key/value annotations.
+        events: Point-in-time ``(clock, name, attributes)`` marks.
+        children: Nested spans, in creation order.
+    """
+
+    name: str
+    start_s: float
+    end_s: Optional[float] = None
+    attributes: dict = field(default_factory=dict)
+    events: list = field(default_factory=list)
+    children: list["Span"] = field(default_factory=list)
+
+    @property
+    def duration_s(self) -> Optional[float]:
+        """Elapsed seconds, or ``None`` while the span is still open."""
+        return None if self.end_s is None else self.end_s - self.start_s
+
+    def annotate(self, **attributes) -> "Span":
+        """Attach attributes to the span; returns the span for chaining."""
+        self.attributes.update(attributes)
+        return self
+
+    def walk(self) -> Iterator["Span"]:
+        """Yield this span and every descendant, pre-order."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def find(self, name: str) -> Optional["Span"]:
+        """First span (pre-order) in this subtree with ``name``."""
+        for span in self.walk():
+            if span.name == name:
+                return span
+        return None
+
+    def to_dict(self) -> dict:
+        """JSON-ready representation of the subtree."""
+        return {
+            "name": self.name,
+            "start_s": self.start_s,
+            "duration_s": self.duration_s,
+            "attributes": dict(self.attributes),
+            "events": [
+                {"at_s": at, "name": name, "attributes": dict(attrs)}
+                for at, name, attrs in self.events
+            ],
+            "children": [child.to_dict() for child in self.children],
+        }
+
+
+class _NullSpan:
+    """The span handed out by :class:`NullTracer`: absorbs everything."""
+
+    __slots__ = ()
+
+    def annotate(self, **attributes) -> "_NullSpan":
+        return self
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        return None
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class NullTracer:
+    """The default tracer: every operation is a no-op.
+
+    ``enabled`` is ``False`` so hot paths (one flag test per
+    ``next()`` call) skip instrumentation entirely, and ``span()``
+    returns a shared reusable null context manager for the coarse
+    phase spans the division algorithms always emit.  A null-traced
+    run produces no spans, no operator stats, and no metrics entries.
+    """
+
+    enabled = False
+    metrics = None
+
+    def span(self, name: str, **attributes) -> _NullSpan:
+        """A reusable no-op context manager."""
+        return _NULL_SPAN
+
+    def event(self, name: str, **attributes) -> None:
+        """Discard the event."""
+
+    def count(self, name: str, value: float = 1.0, **labels) -> None:
+        """Discard the counter increment."""
+
+    def gauge(self, name: str, value: float, **labels) -> None:
+        """Discard the gauge reading."""
+
+    def observe(self, name: str, value: float, **labels) -> None:
+        """Discard the histogram observation."""
+
+    def operator_enter(self, operator, phase: str) -> None:
+        """Ignore operator attribution."""
+
+    def operator_exit(self, operator, phase: str) -> None:
+        """Ignore operator attribution."""
+
+
+#: Process-wide shared no-op tracer (stateless, safe to share).
+NULL_TRACER = NullTracer()
+
+
+class Tracer:
+    """A recording tracer: span tree + operator attribution + metrics.
+
+    Args:
+        clock: Time source; defaults to the real monotonic clock.
+        metrics: Metrics registry to write through to; a fresh
+            :class:`~repro.obs.metrics.MetricsRegistry` by default.
+
+    The tracer is deliberately single-threaded (one per
+    :class:`~repro.executor.iterator.ExecContext`), matching the
+    paper's single-process execution model; the parallel simulation
+    uses one context per simulated processor.
+    """
+
+    enabled = True
+
+    def __init__(self, clock: Clock | None = None, metrics=None) -> None:
+        from repro.obs.metrics import MetricsRegistry
+
+        self.clock: Clock = clock or MONOTONIC_CLOCK
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.roots: list[Span] = []
+        self._stack: list[Span] = []
+        self._ops = None  # lazy OperatorAccounting (repro.obs.profile)
+
+    # -- spans ---------------------------------------------------------
+
+    @contextmanager
+    def span(self, name: str, **attributes):
+        """Open a child span of the current span (context manager)."""
+        span = Span(name=name, start_s=self.clock.now(), attributes=attributes)
+        if self._stack:
+            self._stack[-1].children.append(span)
+        else:
+            self.roots.append(span)
+        self._stack.append(span)
+        try:
+            yield span
+        finally:
+            span.end_s = self.clock.now()
+            self._stack.pop()
+
+    def current_span(self) -> Optional[Span]:
+        """Innermost open span, or ``None`` outside any span."""
+        return self._stack[-1] if self._stack else None
+
+    def event(self, name: str, **attributes) -> None:
+        """Record a point event on the current span (or a root mark)."""
+        mark = (self.clock.now(), name, attributes)
+        if self._stack:
+            self._stack[-1].events.append(mark)
+        else:
+            root = Span(name=name, start_s=mark[0], end_s=mark[0], attributes=attributes)
+            self.roots.append(root)
+
+    def find_span(self, name: str) -> Optional[Span]:
+        """First recorded span with ``name`` (pre-order over roots)."""
+        for root in self.roots:
+            hit = root.find(name)
+            if hit is not None:
+                return hit
+        return None
+
+    # -- metrics write-through -----------------------------------------
+
+    def count(self, name: str, value: float = 1.0, **labels) -> None:
+        """Increment counter ``name`` in the attached registry."""
+        self.metrics.counter(name, **labels).inc(value)
+
+    def gauge(self, name: str, value: float, **labels) -> None:
+        """Set gauge ``name`` in the attached registry."""
+        self.metrics.gauge(name, **labels).set(value)
+
+    def observe(self, name: str, value: float, **labels) -> None:
+        """Observe ``value`` into histogram ``name``."""
+        self.metrics.histogram(name, **labels).observe(value)
+
+    # -- operator attribution (delegated to repro.obs.profile) ---------
+
+    @property
+    def operators(self):
+        """The per-operator accounting (created on first use)."""
+        if self._ops is None:
+            from repro.obs.profile import OperatorAccounting
+
+            self._ops = OperatorAccounting(self.clock)
+        return self._ops
+
+    def operator_enter(self, operator, phase: str) -> None:
+        """Attribution hook: operator ``phase`` call begins."""
+        self.operators.enter(operator, phase)
+
+    def operator_exit(self, operator, phase: str) -> None:
+        """Attribution hook: operator ``phase`` call ends."""
+        self.operators.exit(operator, phase)

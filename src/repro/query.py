@@ -38,10 +38,25 @@ from repro.errors import DivisionError
 from repro.core.divide import _ADVISOR_DISPATCH, divide
 from repro.costmodel.advisor import DivisionEstimates, choose_strategy
 from repro.executor.iterator import ExecContext
+from repro.metering import CpuCounters
+from repro.obs.profile import OperatorStats, QueryProfile, build_profile
+from repro.obs.span import Clock, MONOTONIC_CLOCK, Tracer
 from repro.relalg import algebra
 from repro.relalg.predicates import Predicate
 from repro.relalg.relation import Relation
 from repro.relalg.tuples import projector
+
+
+@dataclass(frozen=True)
+class ProfiledResult:
+    """A profiled evaluation: the result relation plus its profile.
+
+    Returned by ``run(profile=True)`` so the un-profiled call keeps its
+    plain-:class:`~repro.relalg.relation.Relation` return type.
+    """
+
+    relation: Relation
+    profile: QueryProfile
 
 
 @dataclass(frozen=True)
@@ -93,29 +108,85 @@ class Query:
         signal that division-by-counting would need a semi-join."""
         return any(step.kind == "where" for step in self._steps)
 
-    def run(self, name: str = "") -> Relation:
-        """Evaluate the pipeline to a relation."""
+    def run(
+        self, name: str = "", profile: bool = False, clock: Clock | None = None
+    ) -> "Relation | ProfiledResult":
+        """Evaluate the pipeline to a relation.
+
+        Args:
+            name: Optional name for the result relation.
+            profile: When true, time each step and return a
+                :class:`ProfiledResult` carrying a step-tree
+                :class:`~repro.obs.profile.QueryProfile` instead of the
+                bare relation.
+            clock: Injectable clock for deterministic profiling tests.
+        """
+        if not profile:
+            return self._run_steps(name)
+        clock = clock or MONOTONIC_CLOCK
+        started = clock.now()
+        node = OperatorStats(
+            label=f"Relation({self.relation.name or 'relation'})",
+            op_class="Relation",
+            rows_out=len(self.relation),
+        )
+        node.calls["run"] = 1
         current = self.relation
         for step in self._steps:
-            if step.kind == "where":
-                assert step.predicate is not None
-                current = algebra.select(current, step.predicate)
-            elif step.kind == "project":
-                current = algebra.project(current, step.names, distinct=False)
-            elif step.kind == "distinct":
-                current = current.distinct()
+            step_started = clock.now()
+            current = self._apply_step(current, step)
+            parent = OperatorStats(
+                label=self._describe_step(step),
+                op_class=step.kind.capitalize(),
+                rows_out=len(current),
+                wall_s=clock.now() - step_started,
+            )
+            parent.calls["run"] = 1
+            parent.children.append(node)
+            node = parent
+        if name:
+            current = current.rename(name)
+        query_profile = QueryProfile(
+            roots=[node],
+            cpu=CpuCounters(),
+            io_ms=0.0,
+            wall_s=clock.now() - started,
+        )
+        return ProfiledResult(current, query_profile)
+
+    def explain_analyze(self, clock: Clock | None = None) -> QueryProfile:
+        """Run the pipeline and return its per-step profile tree."""
+        result = self.run(profile=True, clock=clock)
+        assert isinstance(result, ProfiledResult)
+        return result.profile
+
+    def _run_steps(self, name: str = "") -> Relation:
+        current = self.relation
+        for step in self._steps:
+            current = self._apply_step(current, step)
         return current.rename(name) if name else current
+
+    @staticmethod
+    def _apply_step(current: Relation, step: _Step) -> Relation:
+        if step.kind == "where":
+            assert step.predicate is not None
+            return algebra.select(current, step.predicate)
+        if step.kind == "project":
+            return algebra.project(current, step.names, distinct=False)
+        return current.distinct()
+
+    @staticmethod
+    def _describe_step(step: _Step) -> str:
+        if step.kind == "where":
+            return f"where({step.predicate!r})"
+        if step.kind == "project":
+            return f"project({', '.join(step.names)})"
+        return "distinct()"
 
     def describe(self) -> str:
         """One-line pipeline description."""
         parts = [self.relation.name or "relation"]
-        for step in self._steps:
-            if step.kind == "where":
-                parts.append(f"where({step.predicate!r})")
-            elif step.kind == "project":
-                parts.append(f"project({', '.join(step.names)})")
-            else:
-                parts.append("distinct()")
+        parts.extend(self._describe_step(step) for step in self._steps)
         return " . ".join(parts)
 
 
@@ -147,6 +218,8 @@ class ContainsQuery:
     def __init__(self, dividend: Query, divisor: Query) -> None:
         self.dividend = dividend
         self.divisor = divisor
+        #: The profile of the most recent ``run(profile=True)``.
+        self.last_profile: QueryProfile | None = None
 
     def plan(
         self,
@@ -180,8 +253,67 @@ class ContainsQuery:
             quotient_names=quotient_names,
         )
 
-    def run(self, ctx: ExecContext | None = None, name: str = "quotient") -> Relation:
-        """Evaluate both sides, plan, and execute the division."""
+    def run(
+        self,
+        ctx: ExecContext | None = None,
+        name: str = "quotient",
+        profile: bool = False,
+        clock: Clock | None = None,
+    ) -> "Relation | ProfiledResult":
+        """Evaluate both sides, plan, and execute the division.
+
+        Args:
+            ctx: Execution context; a fresh one is created when omitted.
+            name: Name of the returned quotient relation.
+            profile: When true, execute under a recording
+                :class:`~repro.obs.span.Tracer` and return a
+                :class:`ProfiledResult` whose profile is the full
+                EXPLAIN ANALYZE operator tree of the division plan.
+            clock: Injectable clock for deterministic profiling tests.
+        """
+        if not profile:
+            return self._execute(ctx, name)
+        tracer = Tracer(clock=clock)
+        owns_ctx = ctx is None
+        if owns_ctx:
+            ctx = ExecContext(tracer=tracer)
+            previous_tracer = None
+        else:
+            previous_tracer = ctx.tracer
+            ctx.tracer = tracer
+        cpu_before = ctx.cpu.snapshot()
+        io_ms_before = ctx.io_cost_ms()
+        started = tracer.clock.now()
+        try:
+            relation = self._execute(ctx, name)
+        finally:
+            if previous_tracer is not None:
+                ctx.tracer = previous_tracer
+        query_profile = build_profile(
+            tracer,
+            ctx,
+            cpu=ctx.cpu.delta_since(cpu_before),
+            io_ms=ctx.io_cost_ms() - io_ms_before,
+            wall_s=tracer.clock.now() - started,
+        )
+        self.last_profile = query_profile
+        return ProfiledResult(relation, query_profile)
+
+    def explain_analyze(
+        self, ctx: ExecContext | None = None, clock: Clock | None = None
+    ) -> QueryProfile:
+        """Execute the division under tracing; return the operator tree.
+
+        The reproduction's ``EXPLAIN ANALYZE``: per-iterator rows out,
+        ``next()`` calls, Comp/Hash/Move/Bit deltas, buffer and I/O
+        activity, and Table 1/Table 3 model milliseconds.  The
+        per-operator deltas sum exactly to the run's global counters.
+        """
+        result = self.run(ctx=ctx, profile=True, clock=clock)
+        assert isinstance(result, ProfiledResult)
+        return result.profile
+
+    def _execute(self, ctx: ExecContext | None, name: str) -> Relation:
         dividend_relation = self.dividend.run()
         divisor_relation = self.divisor.run()
         plan = self.plan(dividend_relation, divisor_relation)

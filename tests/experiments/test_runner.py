@@ -93,3 +93,63 @@ class TestPlanBuilder:
             from repro.executor.iterator import run_to_relation
 
             assert len(run_to_relation(plan)) == 4
+
+
+class TestClockInjection:
+    def test_wall_time_is_deterministic_with_a_fake_clock(self):
+        from repro.obs.span import FakeClock
+
+        dividend, divisor = make_exact_division(5, 5, seed=2)
+        run = run_strategy_on_relations(
+            "hash-division",
+            dividend,
+            divisor,
+            expected_quotient=5,
+            clock=FakeClock(start=100.0),
+        )
+        # The fake clock never advances between the runner's two
+        # readings, so the measured wall window is exactly zero --
+        # the meters, not the clock, carry the result.
+        assert run.wall_seconds == 0.0
+        assert run.cpu_ms > 0
+
+    def test_identical_runs_meter_identically(self):
+        from repro.obs.span import FakeClock
+
+        dividend, divisor = make_exact_division(5, 5, seed=2)
+        runs = [
+            run_strategy_on_relations(
+                "sort-agg no join",
+                dividend,
+                divisor,
+                expected_quotient=5,
+                clock=FakeClock(),
+            )
+            for _ in range(2)
+        ]
+        assert runs[0].cpu_ms == runs[1].cpu_ms
+        assert runs[0].io_ms == runs[1].io_ms
+        assert runs[0].wall_seconds == runs[1].wall_seconds
+
+
+class TestRunnerProfiles:
+    def test_tracer_attaches_a_profile(self):
+        from repro.obs.span import Tracer
+
+        dividend, divisor = make_exact_division(5, 5, seed=3)
+        run = run_strategy_on_relations(
+            "hash-division",
+            dividend,
+            divisor,
+            expected_quotient=5,
+            tracer=Tracer(),
+        )
+        assert run.profile is not None
+        assert run.profile.total_model_ms == pytest.approx(run.total_ms)
+
+    def test_no_tracer_means_no_profile(self):
+        dividend, divisor = make_exact_division(5, 5, seed=3)
+        run = run_strategy_on_relations(
+            "hash-division", dividend, divisor, expected_quotient=5
+        )
+        assert run.profile is None

@@ -1,0 +1,161 @@
+"""Exporters: Prometheus text, JSON, and the BENCH_*.json trajectory."""
+
+import json
+
+import pytest
+
+# Note: ``bench_*`` names are aliased on import -- this repository's
+# pytest config collects ``bench_*`` functions as benchmarks.
+from repro.obs.export import (
+    BENCH_SCHEMA_VERSION,
+    bench_path as make_bench_path,
+    bench_payload as make_bench_payload,
+    load_bench_json,
+    profile_to_json,
+    registry_to_json,
+    render_prometheus,
+    validate_bench_payload,
+    write_bench_json,
+)
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.span import Tracer
+
+
+class TestPrometheus:
+    def test_counter_gauge_rendering(self):
+        registry = MetricsRegistry()
+        registry.counter("repro_things_total", strategy="naive").inc(3)
+        registry.gauge("repro_level").set(0.5)
+        text = render_prometheus(registry)
+        assert "# TYPE repro_things_total counter" in text
+        assert 'repro_things_total{strategy="naive"} 3' in text
+        assert "# TYPE repro_level gauge" in text
+        assert "repro_level 0.5" in text
+        assert text.endswith("\n")
+
+    def test_histogram_rendering(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("repro_latency_ms", boundaries=(1.0, 10.0))
+        hist.observe(0.5)
+        hist.observe(5.0)
+        text = render_prometheus(registry)
+        assert 'repro_latency_ms_bucket{le="1"} 1' in text
+        assert 'repro_latency_ms_bucket{le="10"} 2' in text
+        assert 'repro_latency_ms_bucket{le="+Inf"} 2' in text
+        assert "repro_latency_ms_sum 5.5" in text
+        assert "repro_latency_ms_count 2" in text
+
+    def test_label_escaping(self):
+        registry = MetricsRegistry()
+        registry.counter("repro_odd_total", note='say "hi"\nok').inc()
+        text = render_prometheus(registry)
+        assert r'note="say \"hi\"\nok"' in text
+
+    def test_empty_registry_renders_empty(self):
+        assert render_prometheus(MetricsRegistry()) == ""
+
+    def test_type_line_emitted_once_per_family(self):
+        registry = MetricsRegistry()
+        registry.counter("repro_things_total", a="1").inc()
+        registry.counter("repro_things_total", a="2").inc()
+        text = render_prometheus(registry)
+        assert text.count("# TYPE repro_things_total counter") == 1
+
+
+class TestJson:
+    def test_registry_to_json_is_valid_json(self):
+        registry = MetricsRegistry()
+        registry.counter("repro_x_total").inc(2)
+        payload = json.loads(registry_to_json(registry))
+        assert payload["repro_x_total"]["samples"][0]["value"] == 2
+
+    def test_profile_to_json_is_valid_json(self):
+        from repro.experiments.runner import run_strategy_on_relations
+        from repro.workloads.university import figure2_courses, figure2_transcript
+
+        run = run_strategy_on_relations(
+            "hash-division",
+            figure2_transcript(),
+            figure2_courses(),
+            expected_quotient=1,
+            tracer=Tracer(),
+        )
+        payload = json.loads(profile_to_json(run.profile))
+        assert payload["operators"][0]["operator"] == "HashDivision"
+        assert payload["totals"]["cpu"]["hashes"] > 0
+
+
+class TestBenchExport:
+    def test_write_then_load_round_trip(self, tmp_path):
+        path = write_bench_json(
+            tmp_path,
+            "table4_point",
+            {"total_model_ms": 68.591},
+            extra={"size_point": "25x25"},
+            created_unix=1_700_000_000.0,
+        )
+        assert path == make_bench_path(tmp_path, "table4_point")
+        assert path.name == "BENCH_table4_point.json"
+        payload = load_bench_json(path)
+        assert payload["schema_version"] == BENCH_SCHEMA_VERSION
+        assert payload["metrics"] == {"total_model_ms": 68.591}
+        assert payload["extra"] == {"size_point": "25x25"}
+        assert payload["created_unix"] == 1_700_000_000.0
+        assert "python" in payload["environment"]
+
+    def test_payload_can_embed_a_profile(self, tmp_path):
+        from repro.experiments.runner import run_strategy_on_relations
+        from repro.workloads.university import figure2_courses, figure2_transcript
+
+        run = run_strategy_on_relations(
+            "hash-division",
+            figure2_transcript(),
+            figure2_courses(),
+            expected_quotient=1,
+            tracer=Tracer(),
+        )
+        path = write_bench_json(
+            tmp_path, "fig2", {"total_model_ms": run.total_ms}, profile=run.profile
+        )
+        payload = load_bench_json(path)
+        assert payload["profile"]["operators"][0]["operator"] == "HashDivision"
+
+    @pytest.mark.parametrize(
+        "mutate, message",
+        [
+            (lambda p: p.__setitem__("schema_version", 99), "schema_version"),
+            (lambda p: p.__setitem__("name", "bad name!"), "name"),
+            (lambda p: p.__setitem__("created_unix", "yesterday"), "created_unix"),
+            (lambda p: p.__setitem__("metrics", {}), "metrics"),
+            (lambda p: p.__setitem__("metrics", {"x": "fast"}), "x"),
+            (lambda p: p.__setitem__("metrics", {"x": True}), "x"),
+            (lambda p: p.__setitem__("profile", []), "profile"),
+        ],
+    )
+    def test_validation_rejects_bad_payloads(self, mutate, message):
+        payload = make_bench_payload("ok", {"ms": 1.0}, created_unix=0.0)
+        mutate(payload)
+        with pytest.raises(ValueError, match=message):
+            validate_bench_payload(payload)
+
+    def test_load_rejects_non_json(self, tmp_path):
+        path = tmp_path / "BENCH_broken.json"
+        path.write_text("{not json")
+        with pytest.raises(ValueError, match="not valid JSON"):
+            load_bench_json(path)
+
+    def test_bad_name_rejected_at_build_time(self):
+        with pytest.raises(ValueError):
+            make_bench_payload("no spaces allowed", {"ms": 1.0})
+
+    def test_export_bench_fixture_writes_under_results(self):
+        """The benchmark suite's conftest fixture targets
+        ``benchmarks/results`` and produces a loadable artifact."""
+        import importlib.util
+        from pathlib import Path
+
+        conftest = Path(__file__).resolve().parents[2] / "benchmarks" / "conftest.py"
+        spec = importlib.util.spec_from_file_location("bench_conftest", conftest)
+        module = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(module)
+        assert module.RESULTS_DIR.name == "results"

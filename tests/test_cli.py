@@ -82,3 +82,115 @@ class TestTraceCommand:
     def test_bad_sizes_rejected(self):
         with pytest.raises(SystemExit):
             main(["table4", "--sizes", "25by25"])
+
+
+class TestVersionAndHelp:
+    def test_version_flag(self, capsys):
+        from repro import __version__
+
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        assert f"repro {__version__}" in capsys.readouterr().out
+
+    @pytest.mark.parametrize(
+        "command",
+        [
+            "figure2", "trace", "table1", "table2", "table3", "table4",
+            "profile", "advisor", "parallel",
+        ],
+    )
+    def test_every_subcommand_has_help(self, command, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main([command, "--help"])
+        assert excinfo.value.code == 0
+        assert "usage:" in capsys.readouterr().out
+
+    def test_module_entry_point_smoke(self):
+        """``python -m repro`` is runnable end to end in a subprocess."""
+        import os
+        import subprocess
+        import sys
+        from pathlib import Path
+
+        repo_root = Path(__file__).resolve().parents[1]
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(repo_root / "src")
+        completed = subprocess.run(
+            [sys.executable, "-m", "repro", "--version"],
+            capture_output=True,
+            text=True,
+            env=env,
+            cwd=repo_root,
+        )
+        assert completed.returncode == 0
+        assert completed.stdout.startswith("repro ")
+
+
+class TestProfileCommand:
+    def test_profile_figure2_tree(self, capsys):
+        assert main(["profile"]) == 0
+        out = capsys.readouterr().out
+        assert "EXPLAIN ANALYZE" in out
+        assert "HashDivision" in out
+        assert "StoredRelationScan" in out
+
+    def test_profile_synthetic_strategy(self, capsys):
+        assert main([
+            "profile", "--workload", "synthetic", "--divisor", "5",
+            "--quotient", "5", "--strategy", "sort-agg no join",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "sort-agg no join" in out and "ExternalSort" in out
+
+    def test_profile_json_format(self, capsys):
+        import json
+
+        assert main(["profile", "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["operators"][0]["operator"] == "HashDivision"
+
+    def test_profile_prom_format(self, capsys):
+        assert main(["profile", "--format", "prom"]) == 0
+        out = capsys.readouterr().out
+        assert "# TYPE repro_cpu_hashes_total counter" in out
+        assert "repro_run_io_model_ms" in out
+
+    def test_table4_profile_flag(self, capsys):
+        assert main(["table4", "--sizes", "10x10", "--profile"]) == 0
+        out = capsys.readouterr().out
+        assert "-- profile:" in out
+        assert "EXPLAIN ANALYZE" in out
+
+
+class TestBrokenPipe:
+    def test_broken_pipe_returns_sigpipe_code(self, monkeypatch):
+        import repro.cli as cli
+
+        # Stub the os module used by the handler so the test never
+        # redirects a real file descriptor (pytest's capture owns it).
+        class FakeOs:
+            devnull = "/dev/null"
+            O_WRONLY = 1
+            dup2_calls: list = []
+
+            @staticmethod
+            def open(path, flags):
+                return 99
+
+            @classmethod
+            def dup2(cls, src, dst):
+                cls.dup2_calls.append((src, dst))
+
+        monkeypatch.setattr(cli, "os", FakeOs)
+
+        def explode(_args):
+            raise BrokenPipeError
+
+        args = type("Args", (), {"handler": staticmethod(explode)})()
+        parser = type(
+            "Parser", (), {"parse_args": staticmethod(lambda argv=None: args)}
+        )()
+        monkeypatch.setattr(cli, "build_parser", lambda: parser)
+        assert cli.main(["figure2"]) == 128 + 13
+        assert FakeOs.dup2_calls  # stdout was redirected to devnull

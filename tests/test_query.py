@@ -136,3 +136,55 @@ class TestContains:
         )
         query.run(ctx=ctx)
         assert ctx.cpu.comparisons + ctx.cpu.hashes > 0
+
+
+class TestProfiling:
+    def test_pipeline_profile_tree(self, university):
+        from repro.obs.span import FakeClock
+        from repro.query import ProfiledResult
+
+        query = (
+            Query(university.transcript)
+            .project("student_id", "course_no")
+            .distinct()
+        )
+        result = query.run(profile=True, clock=FakeClock(auto_tick=0.001))
+        assert isinstance(result, ProfiledResult)
+        assert result.relation.rows == query.run().rows
+        ops = [stats.op_class for stats in result.profile.all_operators()]
+        assert ops == ["Distinct", "Project", "Relation"]
+        assert result.profile.wall_s > 0
+
+    def test_contains_explain_analyze_tree(self, university):
+        query = (
+            Query(university.transcript)
+            .project("student_id", "course_no")
+            .contains(
+                Query(university.courses)
+                .where(AttributeContains("title", "database"))
+                .project("course_no")
+            )
+        )
+        profile = query.explain_analyze()
+        text = profile.render()
+        assert "EXPLAIN ANALYZE" in text
+        # The restricted divisor forces hash-division; the quotient must
+        # still be the completionists, tracing or not.
+        assert "HashDivision" in text
+        assert query.last_profile is profile
+
+    def test_profiled_run_matches_plain_run(self, university, ctx):
+        from repro.query import ProfiledResult
+
+        query = (
+            Query(university.transcript)
+            .project("student_id", "course_no")
+            .contains(Query(university.courses).project("course_no"))
+        )
+        plain = query.run()
+        profiled = query.run(profile=True)
+        assert isinstance(profiled, ProfiledResult)
+        assert sorted(plain.rows) == sorted(profiled.relation.rows)
+        # The borrowed context's tracer is restored afterwards.
+        query.run(ctx=ctx, profile=True)
+        assert ctx.tracer.enabled is False
