@@ -36,7 +36,16 @@ def _cmd_figure2(_args: argparse.Namespace) -> None:
     print("Quotient (students who took all database courses):", quotient.rows)
 
 
-def _cmd_trace(_args: argparse.Namespace) -> None:
+def _cmd_trace(args: argparse.Namespace) -> None:
+    trace_cmd = getattr(args, "trace_cmd", None)
+    if trace_cmd == "record":
+        return _cmd_trace_record(args)
+    if trace_cmd == "summarize":
+        return _cmd_trace_summarize(args)
+    if trace_cmd == "export":
+        return _cmd_trace_export(args)
+    # Default (no sub-command): narrate the worked example, the
+    # original behaviour of `repro trace`.
     from repro.core.trace import trace_hash_division
     from repro.workloads.university import figure2_courses, figure2_transcript
 
@@ -44,6 +53,97 @@ def _cmd_trace(_args: argparse.Namespace) -> None:
     print("Hash-division of the Figure 2 example, step by step (\u00a73.2):\n")
     print(trace.render())
     print(f"\nquotient: {trace.quotient}")
+
+
+def _traced_run(args: argparse.Namespace):
+    """Run one strategy with a recording tracer + I/O event log.
+
+    Returns ``(run, ctx, log)`` so callers can verify conservation
+    against the live statistics before the context goes away.
+    """
+    from repro.executor.iterator import ExecContext
+    from repro.experiments.runner import run_strategy
+    from repro.obs import IoEventLog, Tracer
+    from repro.storage.catalog import Catalog
+    from repro.workloads.synthetic import make_exact_division
+    from repro.workloads.university import figure2_courses, figure2_transcript
+
+    if args.workload == "figure2":
+        dividend, divisor = figure2_transcript(), figure2_courses()
+        expected_quotient = 1
+    else:
+        dividend, divisor = make_exact_division(
+            args.divisor, args.quotient, seed=args.seed
+        )
+        expected_quotient = args.quotient
+    tracer = Tracer()
+    log = IoEventLog(capacity=args.capacity)
+    ctx = ExecContext(tracer=tracer, io_trace=log)
+    catalog = Catalog(ctx.pool, ctx.data_disk)
+    catalog.store(dividend, name="dividend", cold=True)
+    catalog.store(divisor, name="divisor", cold=True)
+    # Storing is setup, not the measured experiment: reset counters and
+    # event log together so the trace and the statistics describe the
+    # same window (the conservation precondition).
+    ctx.reset_meters()
+    run = run_strategy(
+        args.strategy,
+        ctx,
+        catalog,
+        "dividend",
+        "divisor",
+        expected_quotient=expected_quotient,
+    )
+    return run, ctx, log
+
+
+def _cmd_trace_record(args: argparse.Namespace) -> None:
+    from repro.obs import (
+        render_summary,
+        verify_attribution,
+        write_chrome_trace,
+        write_jsonl,
+    )
+
+    run, ctx, log = _traced_run(args)
+    print(
+        f"division: {args.strategy}  |R|={run.dividend_tuples} "
+        f"|S|={run.divisor_tuples} -> quotient {run.quotient_tuples} tuples "
+        f"(cpu {run.cpu_ms:.1f} ms, io {run.io_ms:.1f} ms)"
+    )
+    print()
+    print(render_summary(log, ctx.io_stats, top_n=args.top))
+    if run.profile is not None:
+        print(str(verify_attribution(log, run.profile)))
+    if args.jsonl:
+        write_jsonl(args.jsonl, log.events())
+        print(f"wrote {len(log)} events to {args.jsonl}")
+    if args.chrome:
+        write_chrome_trace(args.chrome, log.events())
+        print(f"wrote Chrome trace to {args.chrome} (open in chrome://tracing)")
+
+
+def _cmd_trace_summarize(args: argparse.Namespace) -> None:
+    from repro.obs import IoEventLog, read_jsonl, render_summary
+
+    # Rebuild a log so render_summary sees the same shape as a live run
+    # (no statistics: summary shows replayed costs, not conservation).
+    log = IoEventLog.from_events(read_jsonl(args.file))
+    print(render_summary(log, top_n=args.top))
+
+
+def _cmd_trace_export(args: argparse.Namespace) -> None:
+    from repro.obs import write_chrome_trace, write_jsonl
+
+    run, _ctx, log = _traced_run(args)
+    if args.format == "chrome":
+        write_chrome_trace(args.out, log.events())
+    else:
+        write_jsonl(args.out, log.events())
+    print(
+        f"recorded {len(log)} events ({args.strategy}, "
+        f"|R|={run.dividend_tuples}) -> {args.out} [{args.format}]"
+    )
 
 
 def _cmd_table1(_args: argparse.Namespace) -> None:
@@ -186,9 +286,85 @@ def build_parser() -> argparse.ArgumentParser:
     commands.add_parser("figure2", help="run the worked example").set_defaults(
         handler=_cmd_figure2
     )
-    commands.add_parser(
-        "trace", help="narrate hash-division on the worked example"
-    ).set_defaults(handler=_cmd_trace)
+    from repro.experiments.runner import STRATEGIES as _STRATEGIES
+
+    trace_parser = commands.add_parser(
+        "trace",
+        help="narrate the worked example, or record/summarize/export "
+        "page-level I/O event traces (repro.obs.iotrace)",
+        description="Without a sub-command: narrate hash-division on the "
+        "Figure 2 worked example, step by step.  With a sub-command: "
+        "record every physical page transfer of one strategy run into "
+        "the bounded I/O event log, verify the Table 3 cost model "
+        "conserves (replayed per-event cost == reported aggregate cost), "
+        "and export the events as JSONL or Chrome trace_event JSON.",
+    )
+    trace_parser.set_defaults(handler=_cmd_trace)
+    trace_sub = trace_parser.add_subparsers(dest="trace_cmd")
+
+    def _add_trace_workload_args(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument(
+            "--strategy",
+            choices=_STRATEGIES,
+            default="hash-division",
+            help="division strategy to trace (default: hash-division)",
+        )
+        sub.add_argument(
+            "--workload",
+            choices=("figure2", "synthetic"),
+            default="synthetic",
+            help="the paper's worked example, or an R = Q x S workload",
+        )
+        sub.add_argument(
+            "--divisor", type=int, default=25, help="|S| for --workload synthetic"
+        )
+        sub.add_argument(
+            "--quotient", type=int, default=25, help="|Q| for --workload synthetic"
+        )
+        sub.add_argument("--seed", type=int, default=0)
+        sub.add_argument(
+            "--capacity",
+            type=int,
+            default=1 << 16,
+            help="event ring-buffer capacity (drops invalidate conservation)",
+        )
+
+    record_parser = trace_sub.add_parser(
+        "record",
+        help="run one strategy, print the I/O trace summary and the "
+        "conservation/attribution verdicts",
+    )
+    _add_trace_workload_args(record_parser)
+    record_parser.add_argument(
+        "--top", type=int, default=5, help="seek offenders to list (default: 5)"
+    )
+    record_parser.add_argument(
+        "--jsonl", metavar="PATH", help="also write the events as JSONL"
+    )
+    record_parser.add_argument(
+        "--chrome", metavar="PATH", help="also write a Chrome trace_event file"
+    )
+
+    summarize_parser = trace_sub.add_parser(
+        "summarize", help="summarize a previously recorded JSONL event file"
+    )
+    summarize_parser.add_argument("file", help="JSONL file from `trace record --jsonl`")
+    summarize_parser.add_argument(
+        "--top", type=int, default=5, help="seek offenders to list (default: 5)"
+    )
+
+    export_parser = trace_sub.add_parser(
+        "export",
+        help="run one strategy and write its event trace to a file",
+    )
+    _add_trace_workload_args(export_parser)
+    export_parser.add_argument(
+        "--format",
+        choices=("chrome", "jsonl"),
+        default="chrome",
+        help="Chrome trace_event JSON (chrome://tracing / Perfetto) or JSONL",
+    )
+    export_parser.add_argument("--out", required=True, metavar="PATH")
     commands.add_parser("table1", help="print the cost units").set_defaults(
         handler=_cmd_table1
     )

@@ -214,6 +214,7 @@ class HashDivision(QueryIterator):
             bucket_count=ChainedHashTable.buckets_for(expected),
             entry_bytes=self.divisor.schema.record_size + 8,
             tag="divisor-table",
+            tracer=self.ctx.tracer,
         )
         # Assign before filling so an overflow mid-build is released by
         # the _open() cleanup path rather than leaked.
@@ -240,6 +241,7 @@ class HashDivision(QueryIterator):
             bucket_count=ChainedHashTable.buckets_for(expected),
             entry_bytes=self.schema.record_size + 8,
             tag="quotient-table",
+            tracer=self.ctx.tracer,
         )
 
     def _consume_tuple(self, row: Row) -> Optional[Row]:

@@ -306,14 +306,21 @@ def hash_division_with_overflow(
         if strategy == "quotient"
         else divisor_partitioned_division
     )
+    dividend = make_dividend()
+    tracer = dividend.ctx.tracer
     try:
-        return run_to_relation(
-            HashDivision(make_dividend(), make_divisor()), name=name
-        )
+        return run_to_relation(HashDivision(dividend, make_divisor()), name=name)
     except HashTableOverflowError:
         pass
     partitions = 2
     while partitions <= max_partitions:
+        if tracer.enabled:
+            # One retry per doubling; the gauge keeps the last fan-out
+            # attempted, i.e. the one that succeeded (or the ceiling).
+            tracer.count("repro_division_overflow_retries_total", strategy=strategy)
+            tracer.gauge(
+                "repro_division_partition_fanout", partitions, strategy=strategy
+            )
         try:
             return partitioner(make_dividend(), make_divisor(), partitions, name=name)
         except HashTableOverflowError:

@@ -172,6 +172,7 @@ class HashGroupCount(QueryIterator):
             bucket_count=ChainedHashTable.buckets_for(expected),
             entry_bytes=group_bytes + 8,
             tag="hash-aggregate",
+            tracer=self.ctx.tracer,
         )
         for row in rows:
             counter, _ = self._table.find_or_insert(extract(row), lambda: [0])

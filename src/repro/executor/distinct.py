@@ -47,6 +47,7 @@ class HashDistinct(QueryIterator):
             bucket_count=ChainedHashTable.buckets_for(expected),
             entry_bytes=self.schema.record_size,
             tag="hash-distinct",
+            tracer=self.ctx.tracer,
         )
         self.input_op.open()
 

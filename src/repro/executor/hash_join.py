@@ -64,6 +64,7 @@ class HashSemiJoin(QueryIterator):
             bucket_count=ChainedHashTable.buckets_for(expected),
             entry_bytes=self.build.schema.record_size,
             tag="semijoin-build",
+            tracer=self.ctx.tracer,
         )
         for row in rows:
             key = self._build_key(row)
@@ -142,6 +143,7 @@ class HashJoin(QueryIterator):
             bucket_count=ChainedHashTable.buckets_for(expected),
             entry_bytes=self.build.schema.record_size,
             tag="join-build",
+            tracer=self.ctx.tracer,
         )
         for row in rows:
             key = self._build_key(row)

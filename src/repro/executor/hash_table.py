@@ -49,6 +49,10 @@ class ChainedHashTable:
             chain-element bookkeeping bytes.
         tag: Allocation tag (e.g. ``"divisor-table"``); also used to
             free the whole table at once.
+        tracer: Optional :class:`repro.obs.span.Tracer`; when enabled,
+            every budget overflow is counted into
+            ``repro_hash_table_overflows_total{table=<tag>}`` so spill
+            behaviour is visible alongside buffer and I/O metrics.
     """
 
     def __init__(
@@ -58,6 +62,7 @@ class ChainedHashTable:
         bucket_count: int,
         entry_bytes: int,
         tag: str = "hash-table",
+        tracer=None,
     ) -> None:
         if bucket_count <= 0:
             raise ValueError("bucket_count must be positive")
@@ -65,7 +70,11 @@ class ChainedHashTable:
         self.memory = memory
         self.bucket_count = bucket_count
         self.entry_bytes = entry_bytes
+        self.base_tag = tag
         self.tag = f"{tag}#{next(_table_ids)}"
+        self.tracer = tracer
+        #: Times this table hit the memory budget (any operation).
+        self.overflows = 0
         self._buckets: list[list[list[Any]]] = [[] for _ in range(bucket_count)]
         self._size = 0
         self._freed = False
@@ -74,7 +83,21 @@ class ChainedHashTable:
                 bucket_count * BUCKET_HEADER_BYTES, tag=self.tag
             )
         except MemoryPoolError as exc:
-            raise HashTableOverflowError(str(exc)) from exc
+            raise self._overflow(exc, site="bucket-array") from exc
+
+    def _overflow(
+        self, exc: MemoryPoolError, site: str
+    ) -> HashTableOverflowError:
+        """Count a budget overflow and build the error to raise."""
+        self.overflows += 1
+        tracer = self.tracer
+        if tracer is not None and tracer.enabled:
+            tracer.count(
+                "repro_hash_table_overflows_total",
+                table=self.base_tag,
+                site=site,
+            )
+        return HashTableOverflowError(str(exc))
 
     @staticmethod
     def buckets_for(
@@ -122,7 +145,7 @@ class ChainedHashTable:
         try:
             self.memory.allocate(CHAIN_ELEMENT_BYTES + self.entry_bytes, tag=self.tag)
         except MemoryPoolError as exc:
-            raise HashTableOverflowError(str(exc)) from exc
+            raise self._overflow(exc, site="insert") from exc
         bucket.append([key, payload])
         self._size += 1
 
@@ -159,7 +182,7 @@ class ChainedHashTable:
         try:
             self.memory.allocate(CHAIN_ELEMENT_BYTES + self.entry_bytes, tag=self.tag)
         except MemoryPoolError as exc:
-            raise HashTableOverflowError(str(exc)) from exc
+            raise self._overflow(exc, site="find_or_insert") from exc
         payload = make_payload()
         bucket.append([key, payload])
         self._size += 1

@@ -36,7 +36,7 @@ from repro.storage.config import StorageConfig
 from repro.storage.disk import SimulatedDisk
 from repro.storage.heapfile import HeapFile
 from repro.storage.memory import MemoryPool
-from repro.storage.stats import IoStatistics
+from repro.storage.stats import NULL_IO_TRACE, IoStatistics
 
 
 class ExecContext:
@@ -49,6 +49,12 @@ class ExecContext:
         tracer: Optional :class:`repro.obs.span.Tracer` recording
             spans, metrics, and per-operator attribution; defaults to
             the no-op :data:`repro.obs.span.NULL_TRACER`.
+        io_trace: Optional :class:`repro.obs.iotrace.IoEventLog`
+            recording one event per physical page transfer; defaults
+            to the zero-cost null sink
+            (:data:`repro.storage.stats.NULL_IO_TRACE`).  When both a
+            recording tracer and an event log are supplied, each event
+            is stamped with the innermost executing operator.
 
     The context owns three devices:
 
@@ -64,15 +70,27 @@ class ExecContext:
         memory_budget: int | None = None,
         storage_dir: str | None = None,
         tracer=None,
+        io_trace=None,
     ) -> None:
         self.config = config or StorageConfig()
-        self.io_stats = IoStatistics(self.config.io_weights)
-        self.cpu = CpuCounters()
         #: Observability hook (repro.obs): the shared no-op NULL_TRACER
         #: by default, so un-profiled execution pays one flag test per
         #: protocol call; pass a repro.obs.Tracer to record spans,
         #: metrics, and per-operator meter attribution.
         self.tracer = NULL_TRACER if tracer is None else tracer
+        #: Page-level I/O event log (repro.obs.iotrace): the shared
+        #: no-op NULL_IO_TRACE by default, so un-traced execution pays
+        #: one flag test per physical transfer and allocates nothing.
+        self.io_trace = NULL_IO_TRACE if io_trace is None else io_trace
+        if (
+            self.io_trace.enabled
+            and getattr(self.io_trace, "operator_provider", None) is None
+        ):
+            self.io_trace.operator_provider = getattr(
+                self.tracer, "current_operator_label", None
+            )
+        self.io_stats = IoStatistics(self.config.io_weights, trace=self.io_trace)
+        self.cpu = CpuCounters()
         self.pool = BufferPool(self.config)
         self.memory = MemoryPool(memory_budget)
         if storage_dir is None:
@@ -134,9 +152,17 @@ class ExecContext:
         return self.io_stats.cost_ms()
 
     def reset_meters(self) -> None:
-        """Zero the CPU counters and I/O statistics (not the pool)."""
+        """Zero the CPU counters, I/O statistics, and I/O event log
+        (not the pool).
+
+        The statistics and the event log are always reset *together*
+        so they describe the same measurement window -- the
+        precondition of the :mod:`repro.obs.iotrace` conservation
+        check.
+        """
         self.cpu.reset()
         self.io_stats.reset()
+        self.io_trace.clear()
 
 
 class _State(enum.Enum):

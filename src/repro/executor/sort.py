@@ -112,11 +112,20 @@ class ExternalSort(QueryIterator):
         self._runs: list[HeapFile] = []
         self._output: Iterator[Row] | None = None
         self.merge_passes_performed = 0
+        #: Initial runs spilled to run files during run generation
+        #: (0 for an in-memory sort); surfaced as
+        #: ``repro_sort_spill_runs_total``.
+        self.runs_spilled = 0
+        #: Length in rows of each initial run, in spill order; surfaced
+        #: as the ``repro_sort_run_length_rows`` histogram.
+        self.run_lengths: list[int] = []
 
     # -- open: run generation + all but the final merge ------------------
 
     def _open(self) -> None:
         self.merge_passes_performed = 0
+        self.runs_spilled = 0
+        self.run_lengths = []
         capacity = self.ctx.config.sort_run_capacity_records(self._codec.record_size)
         self.input_op.open()
         try:
@@ -216,6 +225,12 @@ class ExternalSort(QueryIterator):
         encode = self._codec.encode
         run.append_many(encode(row) for row in rows)
         self._runs.append(run)
+        self.runs_spilled += 1
+        self.run_lengths.append(len(rows))
+        tracer = self.ctx.tracer
+        if tracer.enabled:
+            tracer.count("repro_sort_spill_runs_total")
+            tracer.observe("repro_sort_run_length_rows", len(rows))
 
     def _run_rows(self, run: HeapFile) -> Iterator[Row]:
         decode = self._codec.decode

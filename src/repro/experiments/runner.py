@@ -187,6 +187,10 @@ def run_strategy(
             )
             metrics.gauge("repro_run_io_model_ms", strategy=strategy).set(io_ms)
             metrics.gauge("repro_run_wall_seconds", strategy=strategy).set(wall)
+            if ctx.io_trace.enabled:
+                from repro.obs.iotrace import absorb_io_event_log
+
+                absorb_io_event_log(metrics, ctx.io_trace, strategy=strategy)
     return DivisionRun(
         strategy=strategy,
         dividend_tuples=stored_dividend.record_count,
@@ -213,6 +217,7 @@ def run_strategy_on_relations(
     units: CostUnits = PAPER_UNITS,
     clock: Clock | None = None,
     tracer=None,
+    io_trace=None,
 ) -> DivisionRun:
     """Run one strategy on in-memory relations via a fresh cold context.
 
@@ -220,9 +225,13 @@ def run_strategy_on_relations(
     buffered pages dropped), then the strategy runs over file scans --
     the exact setup of the paper's experiments.  Pass a recording
     ``tracer`` (:class:`repro.obs.span.Tracer`) to get the run's
-    EXPLAIN ANALYZE profile on ``DivisionRun.profile``.
+    EXPLAIN ANALYZE profile on ``DivisionRun.profile``; pass an
+    ``io_trace`` (:class:`repro.obs.iotrace.IoEventLog`) to record one
+    event per physical page transfer, with the log cleared after setup
+    so its replayed cost matches ``DivisionRun.io_ms`` exactly (the
+    :func:`repro.obs.iotrace.verify_conservation` check).
     """
-    ctx = ExecContext(memory_budget=memory_budget, tracer=tracer)
+    ctx = ExecContext(memory_budget=memory_budget, tracer=tracer, io_trace=io_trace)
     catalog = Catalog(ctx.pool, ctx.data_disk)
     catalog.store(dividend, name="dividend", cold=True)
     catalog.store(divisor, name="divisor", cold=True)

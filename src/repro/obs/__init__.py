@@ -12,12 +12,18 @@ trajectory:
 * :mod:`repro.obs.profile` -- per-operator meter attribution and the
   EXPLAIN ANALYZE operator tree,
 * :mod:`repro.obs.export` -- JSON / Prometheus-text / ``BENCH_*.json``
-  exporters.
+  exporters,
+* :mod:`repro.obs.iotrace` -- page-level I/O event log (one event per
+  physical transfer, with seek classification, Table 3 cost, and
+  operator attribution), JSONL / Chrome ``trace_event`` exporters, and
+  the cost-model conservation validator.
 """
 
 from repro.obs.export import (
+    ACCEPTED_BENCH_SCHEMA_VERSIONS,
     BENCH_SCHEMA_VERSION,
     bench_payload,
+    provenance_info,
     load_bench_json,
     profile_to_json,
     registry_to_json,
@@ -25,16 +31,39 @@ from repro.obs.export import (
     validate_bench_payload,
     write_bench_json,
 )
+from repro.obs.iotrace import (
+    AttributionReport,
+    ConservationReport,
+    IoEvent,
+    IoEventLog,
+    absorb_io_event_log,
+    attribution_by_operator,
+    events_from_jsonl,
+    events_to_chrome_trace,
+    events_to_jsonl,
+    read_jsonl,
+    render_summary,
+    replay_cost_ms,
+    replay_counters,
+    top_seek_offenders,
+    verify_attribution,
+    verify_conservation,
+    write_chrome_trace,
+    write_jsonl,
+)
 from repro.obs.metrics import (
     Counter,
     Gauge,
     Histogram,
     MetricsError,
     MetricsRegistry,
+    absorb_btree,
     absorb_buffer_stats,
     absorb_context,
     absorb_cpu_counters,
     absorb_io_statistics,
+    observe_buffer_pool,
+    unobserve_buffer_pool,
 )
 from repro.obs.profile import (
     OperatorStats,
@@ -52,12 +81,17 @@ from repro.obs.span import (
 )
 
 __all__ = [
+    "ACCEPTED_BENCH_SCHEMA_VERSIONS",
+    "AttributionReport",
     "BENCH_SCHEMA_VERSION",
     "Clock",
+    "ConservationReport",
     "Counter",
     "FakeClock",
     "Gauge",
     "Histogram",
+    "IoEvent",
+    "IoEventLog",
     "MetricsError",
     "MetricsRegistry",
     "MonotonicClock",
@@ -67,16 +101,34 @@ __all__ = [
     "QueryProfile",
     "Span",
     "Tracer",
+    "absorb_btree",
     "absorb_buffer_stats",
     "absorb_context",
     "absorb_cpu_counters",
+    "absorb_io_event_log",
     "absorb_io_statistics",
+    "attribution_by_operator",
     "bench_payload",
     "build_profile",
+    "events_from_jsonl",
+    "events_to_chrome_trace",
+    "events_to_jsonl",
     "load_bench_json",
+    "read_jsonl",
+    "observe_buffer_pool",
     "profile_to_json",
+    "provenance_info",
     "registry_to_json",
     "render_prometheus",
+    "render_summary",
+    "replay_cost_ms",
+    "replay_counters",
+    "top_seek_offenders",
+    "unobserve_buffer_pool",
     "validate_bench_payload",
+    "verify_attribution",
+    "verify_conservation",
     "write_bench_json",
+    "write_chrome_trace",
+    "write_jsonl",
 ]

@@ -25,7 +25,14 @@ from repro.obs.metrics import Histogram, MetricsRegistry
 from repro.obs.profile import QueryProfile
 
 #: Version stamp of the BENCH payload layout; bump on breaking change.
-BENCH_SCHEMA_VERSION = 1
+#: v2 added the ``provenance`` block (git commit, storage parameters,
+#: Table 3 I/O weights) so a stored trajectory point records *which*
+#: code and which physical configuration produced it.
+BENCH_SCHEMA_VERSION = 2
+
+#: Schema versions :func:`load_bench_json` accepts; old v1 artifacts
+#: (no provenance block) remain loadable and comparable.
+ACCEPTED_BENCH_SCHEMA_VERSIONS = (1, 2)
 
 #: File-name prefix of benchmark export artifacts.
 BENCH_PREFIX = "BENCH_"
@@ -103,14 +110,65 @@ def registry_to_json(registry: MetricsRegistry, indent: int = 2) -> str:
 # -- BENCH_*.json ------------------------------------------------------
 
 
+def _git_commit() -> str | None:
+    """Best-effort current git commit hash, or ``None``.
+
+    Never raises: benchmark export must work from a tarball checkout
+    or an environment without ``git`` on PATH.
+    """
+    import subprocess
+
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            capture_output=True,
+            text=True,
+            timeout=5,
+            cwd=Path(__file__).resolve().parent,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return None
+    commit = out.stdout.strip()
+    return commit if out.returncode == 0 and commit else None
+
+
+def provenance_info(config=None) -> dict:
+    """The BENCH v2 provenance block: code + physical configuration.
+
+    Records the git commit (best-effort), the storage parameters that
+    shape every measured number (page sizes, buffer budget, sort
+    buffer), and the Table 3 I/O weights -- everything needed to judge
+    whether two trajectory points are comparable.
+
+    Args:
+        config: A :class:`~repro.storage.config.StorageConfig`;
+            defaults to the paper's Section 5.1 parameters.
+    """
+    from dataclasses import asdict
+
+    from repro.storage.config import StorageConfig
+
+    config = config or StorageConfig()
+    return {
+        "git_commit": _git_commit(),
+        "page_size": config.page_size,
+        "sort_run_page_size": config.sort_run_page_size,
+        "buffer_size": config.buffer_size,
+        "memory_limit": config.memory_limit,
+        "sort_buffer_size": config.sort_buffer_size,
+        "io_weights": asdict(config.io_weights),
+    }
+
+
 def bench_payload(
     name: str,
     metrics: dict,
     profile: QueryProfile | dict | None = None,
     extra: dict | None = None,
     created_unix: float | None = None,
+    provenance: dict | None = None,
 ) -> dict:
-    """Build (and validate) one benchmark export payload.
+    """Build (and validate) one benchmark export payload (schema v2).
 
     Args:
         name: Benchmark identifier (letters, digits, ``._-``).
@@ -119,6 +177,9 @@ def bench_payload(
         profile: Optional operator-tree profile of the measured run.
         extra: Free-form additional JSON-compatible context.
         created_unix: Stamp override (defaults to ``time.time()``),
+            injectable for deterministic tests.
+        provenance: Override for the v2 provenance block (defaults to
+            :func:`provenance_info` of the paper's configuration);
             injectable for deterministic tests.
     """
     payload = {
@@ -131,6 +192,7 @@ def bench_payload(
             "python": platform.python_version(),
             "implementation": platform.python_implementation(),
         },
+        "provenance": provenance_info() if provenance is None else dict(provenance),
         "metrics": dict(metrics),
     }
     if profile is not None:
@@ -153,10 +215,17 @@ def validate_bench_payload(payload: object) -> dict:
     if not isinstance(payload, dict):
         raise ValueError("BENCH payload must be a JSON object")
     version = payload.get("schema_version")
-    if version != BENCH_SCHEMA_VERSION:
+    if version not in ACCEPTED_BENCH_SCHEMA_VERSIONS:
         raise ValueError(
-            f"BENCH schema_version must be {BENCH_SCHEMA_VERSION}, got {version!r}"
+            "BENCH schema_version must be one of "
+            f"{ACCEPTED_BENCH_SCHEMA_VERSIONS}, got {version!r}"
         )
+    if version >= 2:
+        provenance = payload.get("provenance")
+        if not isinstance(provenance, dict):
+            raise ValueError("BENCH v2 payloads must carry a provenance object")
+    elif "provenance" in payload and not isinstance(payload["provenance"], dict):
+        raise ValueError("BENCH provenance, when present, must be an object")
     name = payload.get("name")
     if not isinstance(name, str) or not _NAME_RE.match(name):
         raise ValueError(f"BENCH name must match {_NAME_RE.pattern}, got {name!r}")

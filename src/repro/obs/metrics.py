@@ -222,14 +222,86 @@ def absorb_cpu_counters(registry: MetricsRegistry, counters, **labels) -> None:
 def absorb_buffer_stats(registry: MetricsRegistry, stats, **labels) -> None:
     """Fold :class:`~repro.storage.buffer.BufferPoolStats` into metrics.
 
-    Counters for fixes/misses/evictions/writebacks plus the
-    ``repro_buffer_hit_ratio`` gauge.
+    Counters for fixes/hits/misses/evictions/writebacks plus the
+    ``repro_buffer_hit_ratio`` gauge, then one ``device``-labelled
+    sample per device (``repro_buffer_device_*``) from the pool's
+    per-device breakdown -- so a buffer-starved ``runs`` device is
+    distinguishable from a well-cached ``data`` device.
     """
     registry.counter("repro_buffer_fixes_total", **labels).inc(stats.fixes)
+    registry.counter("repro_buffer_hits_total", **labels).inc(stats.hits)
     registry.counter("repro_buffer_misses_total", **labels).inc(stats.misses)
     registry.counter("repro_buffer_evictions_total", **labels).inc(stats.evictions)
     registry.counter("repro_buffer_writebacks_total", **labels).inc(stats.writebacks)
     registry.gauge("repro_buffer_hit_ratio", **labels).set(stats.hit_ratio)
+    for device, c in sorted(stats.by_device.items()):
+        device_labels = dict(labels, device=device)
+        registry.counter("repro_buffer_device_fixes_total", **device_labels).inc(
+            c.fixes
+        )
+        registry.counter("repro_buffer_device_hits_total", **device_labels).inc(c.hits)
+        registry.counter("repro_buffer_device_misses_total", **device_labels).inc(
+            c.misses
+        )
+        registry.counter("repro_buffer_device_evictions_total", **device_labels).inc(
+            c.evictions
+        )
+        registry.counter("repro_buffer_device_writebacks_total", **device_labels).inc(
+            c.writebacks
+        )
+        registry.gauge("repro_buffer_device_hit_ratio", **device_labels).set(
+            c.hit_ratio
+        )
+
+
+def absorb_btree(registry: MetricsRegistry, tree, **labels) -> None:
+    """Fold a :class:`~repro.storage.btree.BPlusTree`'s counters in.
+
+    Emits the ``repro_btree_*`` families: structural-maintenance
+    counters (splits), access counters (searches, scans, leaves
+    visited), and the ``repro_btree_height`` / ``repro_btree_entries``
+    gauges.
+    """
+    stats = tree.stats
+    registry.counter("repro_btree_searches_total", **labels).inc(stats.searches)
+    registry.counter("repro_btree_inserts_total", **labels).inc(stats.inserts)
+    registry.counter("repro_btree_deletes_total", **labels).inc(stats.deletes)
+    registry.counter("repro_btree_leaf_splits_total", **labels).inc(stats.leaf_splits)
+    registry.counter("repro_btree_interior_splits_total", **labels).inc(
+        stats.interior_splits
+    )
+    registry.counter("repro_btree_leaf_scans_total", **labels).inc(stats.leaf_scans)
+    registry.counter("repro_btree_leaves_visited_total", **labels).inc(
+        stats.leaves_visited
+    )
+    registry.gauge("repro_btree_height", **labels).set(tree.height)
+    registry.gauge("repro_btree_entries", **labels).set(len(tree))
+
+
+def observe_buffer_pool(pool, registry: MetricsRegistry, **labels):
+    """Attach a live observer to ``pool`` streaming events into metrics.
+
+    Unlike :func:`absorb_buffer_stats` (a point-in-time fold), the
+    observer counts ``repro_buffer_events_total{event,device}`` as the
+    pool runs, so buffer churn is visible *during* execution.  Returns
+    the observer callable (also installed as ``pool.observer``); pass
+    it to :func:`unobserve_buffer_pool` or set ``pool.observer = None``
+    to detach.
+    """
+
+    def observer(event: str, device: str, page_no: int) -> None:
+        registry.counter(
+            "repro_buffer_events_total", event=event, device=device, **labels
+        ).inc()
+
+    pool.observer = observer
+    return observer
+
+
+def unobserve_buffer_pool(pool, observer=None) -> None:
+    """Detach a live buffer-pool observer (no-op if not attached)."""
+    if observer is None or pool.observer is observer:
+        pool.observer = None
 
 
 def absorb_io_statistics(registry: MetricsRegistry, io_stats, **labels) -> None:

@@ -171,6 +171,10 @@ class OperatorAccounting:
         stats.label = operator.describe()
         self._last = now
 
+    def current(self) -> Optional[OperatorStats]:
+        """The operator currently on top of the execution stack."""
+        return self._stack[-1] if self._stack else None
+
     # -- internals -----------------------------------------------------
 
     def _checkpoint(self, ctx) -> _Checkpoint:

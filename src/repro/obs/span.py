@@ -193,6 +193,10 @@ class NullTracer:
     def operator_exit(self, operator, phase: str) -> None:
         """Ignore operator attribution."""
 
+    def current_operator_label(self) -> None:
+        """No operator is ever executing under the null tracer."""
+        return None
+
 
 #: Process-wide shared no-op tracer (stateless, safe to share).
 NULL_TRACER = NullTracer()
@@ -293,3 +297,18 @@ class Tracer:
     def operator_exit(self, operator, phase: str) -> None:
         """Attribution hook: operator ``phase`` call ends."""
         self.operators.exit(operator, phase)
+
+    def current_operator_label(self) -> Optional[str]:
+        """Class name of the innermost executing operator, or ``None``.
+
+        This is the attribution hook :class:`repro.obs.iotrace.IoEventLog`
+        uses to stamp each physical page transfer with the operator on
+        whose behalf it happened -- the same stack the EXPLAIN ANALYZE
+        profile charges meter deltas to, so the two attributions can be
+        cross-checked event for event.
+        """
+        ops = self._ops
+        if ops is None:
+            return None
+        current = ops.current()
+        return None if current is None else current.op_class

@@ -21,6 +21,7 @@ same units as everything else.
 from __future__ import annotations
 
 import bisect
+from dataclasses import dataclass
 from typing import Any, Iterator
 
 from repro.errors import BTreeError
@@ -28,6 +29,33 @@ from repro.metering import CpuCounters
 
 DEFAULT_ORDER = 64
 """Default maximum children per interior node."""
+
+
+@dataclass
+class BTreeStats:
+    """Structural-maintenance and access counters for one tree.
+
+    Surfaced through the ``repro_btree_*`` metrics families (see
+    :func:`repro.obs.metrics.absorb_btree`), so index maintenance cost
+    is visible in the same place as buffer and I/O activity.
+
+    Attributes:
+        searches: Point lookups performed.
+        inserts: Successful insertions.
+        deletes: Successful deletions.
+        leaf_splits: Leaf nodes split during insertion.
+        interior_splits: Interior nodes split during insertion.
+        leaf_scans: Range/items scans initiated.
+        leaves_visited: Leaf nodes walked by those scans.
+    """
+
+    searches: int = 0
+    inserts: int = 0
+    deletes: int = 0
+    leaf_splits: int = 0
+    interior_splits: int = 0
+    leaf_scans: int = 0
+    leaves_visited: int = 0
 
 
 class _Node:
@@ -69,6 +97,10 @@ class BPlusTree:
             raise BTreeError(f"order must be >= 3, got {order}")
         self.order = order
         self.cpu = cpu
+        #: Structural/access counters (:class:`BTreeStats`); absorbed
+        #: into ``repro_btree_*`` metrics by
+        #: :func:`repro.obs.metrics.absorb_btree`.
+        self.stats = BTreeStats()
         self._root: _Node = _Leaf()
         self._size = 0
         self._height = 1
@@ -105,6 +137,7 @@ class BPlusTree:
 
     def search(self, key: Any) -> Any | None:
         """Return the value stored under ``key``, or ``None``."""
+        self.stats.searches += 1
         leaf = self._find_leaf(key)
         self._charge(self._bisect_cost(len(leaf.keys)))
         index = bisect.bisect_left(leaf.keys, key)
@@ -117,6 +150,7 @@ class BPlusTree:
 
         ``None`` bounds are open.
         """
+        self.stats.leaf_scans += 1
         if low is None:
             leaf: _Leaf | None = self._leftmost_leaf()
             index = 0
@@ -125,6 +159,7 @@ class BPlusTree:
             self._charge(self._bisect_cost(len(leaf.keys)))
             index = bisect.bisect_left(leaf.keys, low)
         while leaf is not None:
+            self.stats.leaves_visited += 1
             while index < len(leaf.keys):
                 key = leaf.keys[index]
                 if high is not None and key > high:
@@ -161,6 +196,7 @@ class BPlusTree:
             self._root = new_root
             self._height += 1
         self._size += 1
+        self.stats.inserts += 1
 
     def insert_multi(self, key: tuple, value: Any) -> None:
         """Insert a possibly duplicate key by appending the value to it.
@@ -195,6 +231,7 @@ class BPlusTree:
         return self._split_interior(node)
 
     def _split_leaf(self, leaf: _Leaf) -> tuple[Any, _Leaf]:
+        self.stats.leaf_splits += 1
         middle = len(leaf.keys) // 2
         right = _Leaf()
         right.keys = leaf.keys[middle:]
@@ -206,6 +243,7 @@ class BPlusTree:
         return right.keys[0], right
 
     def _split_interior(self, node: _Interior) -> tuple[Any, _Interior]:
+        self.stats.interior_splits += 1
         middle = len(node.keys) // 2
         separator = node.keys[middle]
         right = _Interior()
@@ -228,6 +266,7 @@ class BPlusTree:
             self._root = self._root.children[0]
             self._height -= 1
         self._size -= 1
+        self.stats.deletes += 1
         return value
 
     def _min_entries(self) -> int:

@@ -52,8 +52,8 @@ class _VirtualDevice:
 
 
 @dataclass
-class BufferPoolStats:
-    """Logical access statistics (hits/misses), for reporting only."""
+class DeviceBufferCounters:
+    """Buffer-pool activity against one device."""
 
     fixes: int = 0
     misses: int = 0
@@ -61,9 +61,49 @@ class BufferPoolStats:
     writebacks: int = 0
 
     @property
+    def hits(self) -> int:
+        """Fixes served from the pool without physical I/O."""
+        return self.fixes - self.misses
+
+    @property
     def hit_ratio(self) -> float:
         """Fraction of fixes served without physical I/O."""
         return 0.0 if self.fixes == 0 else 1.0 - self.misses / self.fixes
+
+
+@dataclass
+class BufferPoolStats:
+    """Logical access statistics (hits/misses), for reporting only.
+
+    Global counters plus a per-device breakdown (``by_device``), so the
+    ``repro_buffer_*`` metrics can say not just *that* the pool missed
+    but *against which device* -- the paper's Table 4 analysis hinges
+    on whether the dividend (``data``) or the sort runs (``runs``)
+    caused the physical I/O.
+    """
+
+    fixes: int = 0
+    misses: int = 0
+    evictions: int = 0
+    writebacks: int = 0
+    by_device: dict = field(default_factory=dict)
+
+    @property
+    def hits(self) -> int:
+        """Fixes served from the pool without physical I/O."""
+        return self.fixes - self.misses
+
+    @property
+    def hit_ratio(self) -> float:
+        """Fraction of fixes served without physical I/O."""
+        return 0.0 if self.fixes == 0 else 1.0 - self.misses / self.fixes
+
+    def device(self, name: str) -> DeviceBufferCounters:
+        """Counters for one device (created on first use)."""
+        counters = self.by_device.get(name)
+        if counters is None:
+            counters = self.by_device[name] = DeviceBufferCounters()
+        return counters
 
 
 class BufferPool:
@@ -76,11 +116,44 @@ class BufferPool:
     def __init__(self, config: StorageConfig | None = None) -> None:
         self.config = config or StorageConfig()
         self.stats = BufferPoolStats()
+        #: Optional observer hook ``callable(event, device, page_no)``
+        #: invoked on ``"fix"`` / ``"miss"`` / ``"unfix"`` /
+        #: ``"eviction"`` / ``"writeback"`` events.  ``None`` (the
+        #: default) costs one comparison per event site; see
+        #: :func:`repro.obs.metrics.observe_buffer_pool` for a wiring
+        #: that streams events into a metrics registry.
+        self.observer = None
         self._disks: dict[str, SimulatedDisk] = {}
         self._virtuals: dict[str, _VirtualDevice] = {}
         self._frames: dict[PageKey, _Frame] = {}
         self._lru: OrderedDict[PageKey, None] = OrderedDict()
         self._bytes_in_use = 0
+
+    # -- accounting helpers --------------------------------------------
+
+    def _count_fix(self, device: str, page_no: int) -> None:
+        self.stats.fixes += 1
+        self.stats.device(device).fixes += 1
+        if self.observer is not None:
+            self.observer("fix", device, page_no)
+
+    def _count_miss(self, device: str, page_no: int) -> None:
+        self.stats.misses += 1
+        self.stats.device(device).misses += 1
+        if self.observer is not None:
+            self.observer("miss", device, page_no)
+
+    def _count_eviction(self, device: str, page_no: int) -> None:
+        self.stats.evictions += 1
+        self.stats.device(device).evictions += 1
+        if self.observer is not None:
+            self.observer("eviction", device, page_no)
+
+    def _count_writeback(self, device: str, page_no: int) -> None:
+        self.stats.writebacks += 1
+        self.stats.device(device).writebacks += 1
+        if self.observer is not None:
+            self.observer("writeback", device, page_no)
 
     # -- device registry -----------------------------------------------
 
@@ -143,7 +216,7 @@ class BufferPool:
             frame = self._install(device, page_no, bytearray(page_size))
             frame.dirty = True
         frame.fix_count = 1
-        self.stats.fixes += 1
+        self._count_fix(device, page_no)
         return page_no, memoryview(frame.data)
 
     def fix_new(self, device: str, page_no: int) -> memoryview:
@@ -158,7 +231,7 @@ class BufferPool:
             return self.fix(device, page_no)
         if device in self._virtuals:
             raise StorageError("fix_new is for disk devices; virtual pages use new_page")
-        self.stats.fixes += 1
+        self._count_fix(device, page_no)
         frame = self._install(device, page_no, bytearray(self.page_size_of(device)))
         frame.fix_count = 1
         return memoryview(frame.data)
@@ -170,14 +243,14 @@ class BufferPool:
         exactly once per successful fix.
         """
         key = (device, page_no)
-        self.stats.fixes += 1
+        self._count_fix(device, page_no)
         frame = self._frames.get(key)
         if frame is not None:
             frame.fix_count += 1
             if key in self._lru:
                 del self._lru[key]
             return memoryview(frame.data)
-        self.stats.misses += 1
+        self._count_miss(device, page_no)
         if device in self._virtuals:
             vdev = self._virtuals[device]
             if page_no in vdev.live_pages:
@@ -212,6 +285,8 @@ class BufferPool:
         if dirty:
             frame.dirty = True
         frame.fix_count -= 1
+        if self.observer is not None:
+            self.observer("unfix", device, page_no)
         if frame.fix_count > 0:
             return
         if discard:
@@ -231,7 +306,7 @@ class BufferPool:
             if dev == device and frame.dirty:
                 disk.write_page(page_no, frame.data)
                 frame.dirty = False
-                self.stats.writebacks += 1
+                self._count_writeback(device, page_no)
 
     def forget_page(self, device: str, page_no: int) -> None:
         """Drop one unfixed frame without write-back (dead data).
@@ -277,7 +352,7 @@ class BufferPool:
                 self._virtuals[key[0]].live_pages.discard(key[1])
             elif frame.dirty and not discard_dirty:
                 self._disks[device].write_page(key[1], frame.data)
-                self.stats.writebacks += 1
+                self._count_writeback(device, key[1])
 
     # -- internals ------------------------------------------------------------
 
@@ -308,7 +383,7 @@ class BufferPool:
         key, _ = self._lru.popitem(last=False)
         frame = self._frames[key]
         self._drop(key, frame, write_back=True)
-        self.stats.evictions += 1
+        self._count_eviction(key[0], key[1])
 
     def _drop(self, key: PageKey, frame: _Frame, write_back: bool) -> None:
         device, page_no = key
@@ -316,7 +391,7 @@ class BufferPool:
             self._virtuals[device].live_pages.discard(page_no)
         elif write_back and frame.dirty:
             self._disks[device].write_page(page_no, frame.data)
-            self.stats.writebacks += 1
+            self._count_writeback(device, page_no)
         self._frames.pop(key, None)
         self._lru.pop(key, None)
         self._bytes_in_use -= len(frame.data)

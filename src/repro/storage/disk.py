@@ -7,18 +7,20 @@ reported to :class:`~repro.storage.stats.IoStatistics`, which charges
 seeks for non-sequential access and per-transfer latency/bandwidth per
 Table 3.
 
-A disk knows nothing about records or files; extents and slotted pages
-are layered on top by :mod:`repro.storage.heapfile`.
+Allocation, validation, and the accounting path live in the shared
+:class:`~repro.storage.diskbase.PagedDiskBase`; this class only stores
+bytes.  A disk knows nothing about records or files; extents and
+slotted pages are layered on top by :mod:`repro.storage.heapfile`.
 """
 
 from __future__ import annotations
 
-from repro.errors import DiskError
+from repro.storage.diskbase import PagedDiskBase
 from repro.storage.stats import IoStatistics
 
 
-class SimulatedDisk:
-    """A named device holding an array of fixed-size pages.
+class SimulatedDisk(PagedDiskBase):
+    """A named device holding an in-memory array of fixed-size pages.
 
     Args:
         name: Device name used in I/O statistics (e.g. ``"data"``,
@@ -36,111 +38,28 @@ class SimulatedDisk:
         page_size: int,
         stats: IoStatistics | None = None,
     ) -> None:
-        if page_size <= 0:
-            raise DiskError("page_size must be positive")
-        self.name = name
-        self.page_size = page_size
-        self.stats = stats if stats is not None else IoStatistics()
+        super().__init__(name, page_size, stats)
         self._pages: list[bytearray] = []
-        self._free: list[int] = []
-        self._free_set: set[int] = set()
-        self._closed = False
 
-    # -- allocation -----------------------------------------------------
+    # -- physical-storage hooks ------------------------------------------
 
-    @property
-    def page_count(self) -> int:
-        """Pages currently allocated (live, not freed)."""
-        return len(self._pages) - len(self._free)
+    def _capacity(self) -> int:
+        return len(self._pages)
 
-    def allocate_page(self) -> int:
-        """Allocate one page and return its page number.
-
-        Freed pages are recycled in LIFO order before the device grows,
-        so temp files reuse space the way an extent allocator would.
-        Allocation itself performs no I/O (and charges none); cost is
-        incurred when the page is written or read.
-        """
-        self._check_open()
-        if self._free:
-            page_no = self._free.pop()
-            self._free_set.discard(page_no)
-            return page_no
-        self._pages.append(bytearray(self.page_size))
-        return len(self._pages) - 1
-
-    def allocate_extent(self, pages: int) -> list[int]:
-        """Allocate ``pages`` physically contiguous new pages.
-
-        Contiguity matters to the cost model: sequential access within
-        an extent pays only one seek.  Extents never recycle the free
-        list, guaranteeing physical adjacency.
-        """
-        self._check_open()
-        if pages <= 0:
-            raise DiskError("extent size must be positive")
+    def _grow(self, pages: int) -> int:
         first = len(self._pages)
         for _ in range(pages):
             self._pages.append(bytearray(self.page_size))
-        return list(range(first, first + pages))
+        return first
 
-    def free_page(self, page_no: int) -> None:
-        """Return a page to the allocator (its contents are cleared)."""
-        self._check_open()
-        self._check_page(page_no)
-        self._pages[page_no] = bytearray(self.page_size)
-        self._free.append(page_no)
-        self._free_set.add(page_no)
-
-    # -- transfers --------------------------------------------------------
-
-    def read_page(self, page_no: int) -> bytearray:
-        """Read one page; returns a *copy* of its contents.
-
-        Charges one transfer (plus a seek when non-sequential) to the
-        statistics collector.
-        """
-        self._check_open()
-        self._check_page(page_no)
-        self.stats.record_transfer(self.name, page_no, self.page_size, is_write=False)
+    def _read_raw(self, page_no: int) -> bytearray:
         return bytearray(self._pages[page_no])
 
-    def write_page(self, page_no: int, data: bytes | bytearray | memoryview) -> None:
-        """Write one full page.
-
-        Charges one transfer (plus a seek when non-sequential).
-        """
-        self._check_open()
-        self._check_page(page_no)
-        if len(data) != self.page_size:
-            raise DiskError(
-                f"write of {len(data)} bytes to device {self.name!r} with "
-                f"page size {self.page_size}"
-            )
+    def _write_raw(self, page_no: int, data: bytes) -> None:
         self._pages[page_no] = bytearray(data)
-        self.stats.record_transfer(self.name, page_no, self.page_size, is_write=True)
 
-    # -- lifecycle ----------------------------------------------------------
-
-    def close(self) -> None:
-        """Release all pages; further use raises :class:`DiskError`."""
+    def _release(self) -> None:
         self._pages.clear()
-        self._free.clear()
-        self._free_set.clear()
-        self._closed = True
-
-    def _check_open(self) -> None:
-        if self._closed:
-            raise DiskError(f"device {self.name!r} is closed")
-
-    def _check_page(self, page_no: int) -> None:
-        if not 0 <= page_no < len(self._pages):
-            raise DiskError(
-                f"page {page_no} out of range on device {self.name!r} "
-                f"({len(self._pages)} pages)"
-            )
-        if page_no in self._free_set:
-            raise DiskError(f"page {page_no} on device {self.name!r} is free")
 
     def __repr__(self) -> str:
         state = "closed" if self._closed else f"{self.page_count} pages"

@@ -1,0 +1,182 @@
+"""Shared device machinery for the two simulated disks.
+
+:class:`repro.storage.disk.SimulatedDisk` (main-memory pages) and
+:class:`repro.storage.filedisk.FileBackedDisk` (one UNIX backing file)
+are the paper's two disk simulations (Section 5.1).  They must be
+*indistinguishable to the cost model*: the same access sequence has to
+produce identical :class:`~repro.storage.stats.IoStatistics` -- the
+same transfers, the same seek classifications, the same Table 3
+milliseconds -- no matter which backing holds the bytes.
+
+Historically each class carried its own copy of the allocation
+bookkeeping, page validation, write-size check, and statistics
+reporting, which is exactly the kind of duplication that lets the two
+cost accounts drift.  :class:`PagedDiskBase` now owns all of it; the
+subclasses implement only the physical byte storage via four hooks
+(:meth:`~PagedDiskBase._capacity`, :meth:`~PagedDiskBase._grow`,
+:meth:`~PagedDiskBase._read_raw`, :meth:`~PagedDiskBase._write_raw`).
+Every transfer funnels through :meth:`PagedDiskBase._account`, the one
+shared classification path into
+:meth:`~repro.storage.stats.IoStatistics.record_transfer` (and, when
+tracing is enabled, into the :mod:`repro.obs.iotrace` event log).  A
+Hypothesis parity test drives both devices with random access
+sequences and asserts counter-for-counter equality.
+"""
+
+from __future__ import annotations
+
+from repro.errors import DiskError
+from repro.storage.stats import IoStatistics
+
+
+class PagedDiskBase:
+    """Common allocation, validation, and I/O accounting for devices.
+
+    Args:
+        name: Device name used in I/O statistics (e.g. ``"data"``,
+            ``"temp"``).
+        page_size: Bytes per page; this is also the transfer unit.
+        stats: Shared statistics collector; pass the execution
+            context's collector so all devices report to one place.
+
+    Freed pages are recycled in LIFO order before the device grows, so
+    temp files reuse space the way an extent allocator would.  Extents
+    never recycle the free list, guaranteeing physical adjacency --
+    contiguity matters to the cost model because sequential access
+    within an extent pays only one seek.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        page_size: int,
+        stats: IoStatistics | None = None,
+    ) -> None:
+        if page_size <= 0:
+            raise DiskError("page_size must be positive")
+        self.name = name
+        self.page_size = page_size
+        self.stats = stats if stats is not None else IoStatistics()
+        self._free: list[int] = []
+        self._free_set: set[int] = set()
+        self._closed = False
+
+    # -- allocation -----------------------------------------------------
+
+    @property
+    def page_count(self) -> int:
+        """Pages currently allocated (live, not freed)."""
+        return self._capacity() - len(self._free)
+
+    def allocate_page(self) -> int:
+        """Allocate one page and return its page number.
+
+        Allocation itself performs no I/O (and charges none); cost is
+        incurred when the page is written or read.
+        """
+        self._check_open()
+        if self._free:
+            page_no = self._free.pop()
+            self._free_set.discard(page_no)
+            return page_no
+        return self._grow(1)
+
+    def allocate_extent(self, pages: int) -> list[int]:
+        """Allocate ``pages`` physically contiguous new pages."""
+        self._check_open()
+        if pages <= 0:
+            raise DiskError("extent size must be positive")
+        first = self._grow(pages)
+        return list(range(first, first + pages))
+
+    def free_page(self, page_no: int) -> None:
+        """Return a page to the allocator (its contents are cleared)."""
+        self._check_open()
+        self._check_page(page_no)
+        self._write_raw(page_no, bytes(self.page_size))
+        self._free.append(page_no)
+        self._free_set.add(page_no)
+
+    # -- transfers --------------------------------------------------------
+
+    def read_page(self, page_no: int) -> bytearray:
+        """Read one page; returns a *copy* of its contents.
+
+        Charges one transfer (plus a seek when non-sequential) to the
+        statistics collector.
+        """
+        self._check_open()
+        self._check_page(page_no)
+        self._account(page_no, is_write=False)
+        return self._read_raw(page_no)
+
+    def write_page(self, page_no: int, data: bytes | bytearray | memoryview) -> None:
+        """Write one full page.
+
+        Charges one transfer (plus a seek when non-sequential).
+        """
+        self._check_open()
+        self._check_page(page_no)
+        if len(data) != self.page_size:
+            raise DiskError(
+                f"write of {len(data)} bytes to device {self.name!r} with "
+                f"page size {self.page_size}"
+            )
+        self._account(page_no, is_write=True)
+        self._write_raw(page_no, bytes(data))
+
+    def _account(self, page_no: int, is_write: bool) -> None:
+        """The one shared accounting/classification path.
+
+        Every physical transfer of every device passes through here
+        into :meth:`~repro.storage.stats.IoStatistics.record_transfer`,
+        which classifies it as sequential or seek and (when tracing is
+        on) emits one :class:`repro.obs.iotrace.IoEvent`.
+        """
+        self.stats.record_transfer(self.name, page_no, self.page_size, is_write)
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def close(self) -> None:
+        """Release the device; further use raises :class:`DiskError`."""
+        if not self._closed:
+            self._release()
+            self._free.clear()
+            self._free_set.clear()
+            self._closed = True
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise DiskError(f"device {self.name!r} is closed")
+
+    def _check_page(self, page_no: int) -> None:
+        if not 0 <= page_no < self._capacity():
+            raise DiskError(
+                f"page {page_no} out of range on device {self.name!r} "
+                f"({self._capacity()} pages)"
+            )
+        if page_no in self._free_set:
+            raise DiskError(f"page {page_no} on device {self.name!r} is free")
+
+    # -- physical-storage hooks (subclass responsibilities) ---------------
+
+    def _capacity(self) -> int:
+        """Pages ever allocated (live plus freed)."""
+        raise NotImplementedError
+
+    def _grow(self, pages: int) -> int:
+        """Extend the device by ``pages`` zeroed pages; return the first
+        new page number."""
+        raise NotImplementedError
+
+    def _read_raw(self, page_no: int) -> bytearray:
+        """Fetch one page's bytes (a copy), without accounting."""
+        raise NotImplementedError
+
+    def _write_raw(self, page_no: int, data: bytes) -> None:
+        """Store one page's bytes, without accounting."""
+        raise NotImplementedError
+
+    def _release(self) -> None:
+        """Free the physical backing (called once, from :meth:`close`)."""
+        raise NotImplementedError

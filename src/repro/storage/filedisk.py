@@ -5,23 +5,27 @@ memory" (Section 5.1).  :class:`FileBackedDisk` is the UNIX-file
 variant: pages live at fixed offsets in one backing file, so data
 survives the Python process and arbitrarily large devices need no
 resident memory.  Cost accounting is identical to
-:class:`~repro.storage.disk.SimulatedDisk` -- the *model* charges for
-seeks and transfers regardless of what the host filesystem does.
+:class:`~repro.storage.disk.SimulatedDisk` -- both inherit allocation,
+validation, and the single statistics/classification path from
+:class:`~repro.storage.diskbase.PagedDiskBase`, so the *model* charges
+for seeks and transfers regardless of what the host filesystem does.
 
 The class mirrors ``SimulatedDisk``'s interface exactly, so every
 layer above (buffer pool, heap files, catalog) works on either device
-unchanged; the test suite runs a shared contract test over both.
+unchanged; the test suite runs a shared contract test over both and a
+Hypothesis parity test asserting identical statistics for identical
+access sequences.
 """
 
 from __future__ import annotations
 
 import os
 
-from repro.errors import DiskError
+from repro.storage.diskbase import PagedDiskBase
 from repro.storage.stats import IoStatistics
 
 
-class FileBackedDisk:
+class FileBackedDisk(PagedDiskBase):
     """A page-addressed device backed by one file on the host FS.
 
     Args:
@@ -38,105 +42,37 @@ class FileBackedDisk:
         path: str | os.PathLike,
         stats: IoStatistics | None = None,
     ) -> None:
-        if page_size <= 0:
-            raise DiskError("page_size must be positive")
-        self.name = name
-        self.page_size = page_size
+        super().__init__(name, page_size, stats)
         self.path = os.fspath(path)
-        self.stats = stats if stats is not None else IoStatistics()
         self._file = open(self.path, "w+b")
         self._allocated = 0
-        self._free: list[int] = []
-        self._free_set: set[int] = set()
-        self._closed = False
 
-    # -- allocation (same contract as SimulatedDisk) ------------------
+    # -- physical-storage hooks ------------------------------------------
 
-    @property
-    def page_count(self) -> int:
-        """Pages currently allocated (live, not freed)."""
-        return self._allocated - len(self._free)
+    def _capacity(self) -> int:
+        return self._allocated
 
-    def allocate_page(self) -> int:
-        """Allocate one page (recycling freed pages LIFO)."""
-        self._check_open()
-        if self._free:
-            page_no = self._free.pop()
-            self._free_set.discard(page_no)
-            return page_no
-        page_no = self._allocated
-        self._allocated += 1
-        self._write_raw(page_no, bytes(self.page_size))
-        return page_no
-
-    def allocate_extent(self, pages: int) -> list[int]:
-        """Allocate ``pages`` physically contiguous new pages."""
-        self._check_open()
-        if pages <= 0:
-            raise DiskError("extent size must be positive")
+    def _grow(self, pages: int) -> int:
         first = self._allocated
         self._allocated += pages
+        # Extend the backing file so reads past old EOF are well-defined.
         self._file.seek((self._allocated * self.page_size) - 1)
         self._file.write(b"\x00")
-        return list(range(first, first + pages))
+        return first
 
-    def free_page(self, page_no: int) -> None:
-        """Return a page to the allocator (contents cleared)."""
-        self._check_open()
-        self._check_page(page_no)
-        self._write_raw(page_no, bytes(self.page_size))
-        self._free.append(page_no)
-        self._free_set.add(page_no)
-
-    # -- transfers ----------------------------------------------------------
-
-    def read_page(self, page_no: int) -> bytearray:
-        """Read one page (a copy), charging one model transfer."""
-        self._check_open()
-        self._check_page(page_no)
-        self.stats.record_transfer(self.name, page_no, self.page_size, is_write=False)
+    def _read_raw(self, page_no: int) -> bytearray:
         self._file.seek(page_no * self.page_size)
         data = self._file.read(self.page_size)
         if len(data) < self.page_size:
             data = data.ljust(self.page_size, b"\x00")
         return bytearray(data)
 
-    def write_page(self, page_no: int, data: bytes | bytearray | memoryview) -> None:
-        """Write one full page, charging one model transfer."""
-        self._check_open()
-        self._check_page(page_no)
-        if len(data) != self.page_size:
-            raise DiskError(
-                f"write of {len(data)} bytes to device {self.name!r} with "
-                f"page size {self.page_size}"
-            )
-        self.stats.record_transfer(self.name, page_no, self.page_size, is_write=True)
-        self._write_raw(page_no, bytes(data))
-
     def _write_raw(self, page_no: int, data: bytes) -> None:
         self._file.seek(page_no * self.page_size)
         self._file.write(data)
 
-    # -- lifecycle --------------------------------------------------------------
-
-    def close(self) -> None:
-        """Flush and close the backing file; further use raises."""
-        if not self._closed:
-            self._file.close()
-            self._closed = True
-
-    def _check_open(self) -> None:
-        if self._closed:
-            raise DiskError(f"device {self.name!r} is closed")
-
-    def _check_page(self, page_no: int) -> None:
-        if not 0 <= page_no < self._allocated:
-            raise DiskError(
-                f"page {page_no} out of range on device {self.name!r} "
-                f"({self._allocated} pages)"
-            )
-        if page_no in self._free_set:
-            raise DiskError(f"page {page_no} on device {self.name!r} is free")
+    def _release(self) -> None:
+        self._file.close()
 
     def __repr__(self) -> str:
         state = "closed" if self._closed else f"{self.page_count} pages"

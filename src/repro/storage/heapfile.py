@@ -179,6 +179,11 @@ class HeapFile:
         """
         if self._destroyed:
             return
+        trace = self.disk.stats.trace
+        if trace.enabled:
+            trace.forget_pages(
+                self.disk.name, self._pages + self._unused_extent_pages
+            )
         for page_no in self._pages + self._unused_extent_pages:
             self.pool.forget_page(self.disk.name, page_no)
             self.disk.free_page(page_no)
@@ -194,6 +199,13 @@ class HeapFile:
         extent; the page is zero-filled and must be formatted."""
         if not self._unused_extent_pages:
             self._unused_extent_pages = self.disk.allocate_extent(self.extent_pages)
+            # File attribution for page-level I/O tracing: register the
+            # extent's pages as ours (a no-op on the null sink).
+            trace = self.disk.stats.trace
+            if trace.enabled:
+                trace.register_pages(
+                    self.disk.name, self._unused_extent_pages, self.name
+                )
         page_no = self._unused_extent_pages.pop(0)
         # Install a zeroed frame for the fresh page so formatting does
         # not require reading garbage from disk.

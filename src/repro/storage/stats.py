@@ -33,6 +33,95 @@ class IoWeights:
     transfer_ms_per_kib: float = 0.5
     cpu_ms_per_transfer: float = 2.0
 
+    def event_cost_ms(self, nbytes: int, seek: bool) -> float:
+        """Table 3 cost of one physical transfer of ``nbytes``.
+
+        This is the per-event form of :meth:`IoStatistics.cost_ms`:
+        summing it over every recorded transfer reproduces the
+        aggregate exactly (same weights, same formula), which is what
+        the :mod:`repro.obs.iotrace` conservation validator checks.
+        """
+        return (
+            (self.seek_ms if seek else 0.0)
+            + self.latency_ms_per_transfer
+            + self.cpu_ms_per_transfer
+            + (nbytes / 1024) * self.transfer_ms_per_kib
+        )
+
+
+# -- seek/sequential classification (the one shared path) --------------
+#
+# Both simulated devices (:class:`repro.storage.disk.SimulatedDisk` and
+# :class:`repro.storage.filedisk.FileBackedDisk`) report transfers
+# through :meth:`IoStatistics.record_transfer`, which classifies them
+# with these helpers -- there is exactly one definition of "what counts
+# as a seek" in the system, and the disk-parity property test pins both
+# devices to it.
+
+
+def is_sequential(expected_next: int | None, page_no: int) -> bool:
+    """A transfer is sequential iff it lands where the head already is.
+
+    Args:
+        expected_next: Page the device head would reach without moving
+            (``None`` when the device has never been touched).
+        page_no: Page actually transferred.
+    """
+    return expected_next == page_no
+
+
+def seek_distance_pages(expected_next: int | None, page_no: int) -> int:
+    """Pages of head movement charged for a transfer.
+
+    Zero for a sequential transfer; for the first transfer on a device
+    the arm is modelled as parked at page 0.
+    """
+    if expected_next == page_no:
+        return 0
+    if expected_next is None:
+        return page_no
+    return abs(page_no - expected_next)
+
+
+class _NullIoTraceSink:
+    """Default no-op event sink for :class:`IoStatistics`.
+
+    The real ring-buffer log lives in :mod:`repro.obs.iotrace`; this
+    stub keeps the storage layer import-free of ``repro.obs`` and makes
+    the disabled path one attribute test (``trace.enabled``) with zero
+    allocations -- the tests monkeypatch :meth:`record` to *raise* and
+    run a full workload to prove the fast path never enters here.
+    """
+
+    __slots__ = ()
+
+    enabled = False
+
+    def record(
+        self,
+        device: str,
+        page_no: int,
+        nbytes: int,
+        is_write: bool,
+        sequential: bool,
+        seek_distance: int,
+        cost_ms: float,
+    ) -> None:
+        """Discard the event."""
+
+    def register_pages(self, device: str, pages, file: str) -> None:
+        """Discard the page-ownership registration."""
+
+    def forget_pages(self, device: str, pages) -> None:
+        """Discard the page-ownership removal."""
+
+    def clear(self) -> None:
+        """Nothing to clear."""
+
+
+#: Process-wide shared no-op I/O event sink (stateless, safe to share).
+NULL_IO_TRACE = _NullIoTraceSink()
+
 
 @dataclass
 class DeviceCounters:
@@ -64,8 +153,12 @@ class IoStatistics:
     sequential if the device's previous transfer ended at page ``p``.
     """
 
-    def __init__(self, weights: IoWeights | None = None) -> None:
+    def __init__(self, weights: IoWeights | None = None, trace=None) -> None:
         self.weights = weights or IoWeights()
+        #: Event sink fed one record per physical transfer.  The no-op
+        #: default costs one attribute test per transfer; attach a
+        #: :class:`repro.obs.iotrace.IoEventLog` for page-level tracing.
+        self.trace = NULL_IO_TRACE if trace is None else trace
         self._devices: dict[str, DeviceCounters] = {}
         self._next_sequential_page: dict[str, int] = {}
 
@@ -96,7 +189,9 @@ class IoStatistics:
             is_write: True for a write, False for a read.
         """
         counters = self.counters(device)
-        if self._next_sequential_page.get(device) != page_no:
+        expected = self._next_sequential_page.get(device)
+        sequential = is_sequential(expected, page_no)
+        if not sequential:
             counters.seeks += 1
         self._next_sequential_page[device] = page_no + 1
         if is_write:
@@ -105,6 +200,17 @@ class IoStatistics:
         else:
             counters.reads += 1
             counters.bytes_read += page_bytes
+        trace = self.trace
+        if trace.enabled:
+            trace.record(
+                device,
+                page_no,
+                page_bytes,
+                is_write,
+                sequential,
+                seek_distance_pages(expected, page_no),
+                self.weights.event_cost_ms(page_bytes, not sequential),
+            )
 
     # -- costing -------------------------------------------------------
 

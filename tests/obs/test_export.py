@@ -159,3 +159,70 @@ class TestBenchExport:
         module = importlib.util.module_from_spec(spec)
         spec.loader.exec_module(module)
         assert module.RESULTS_DIR.name == "results"
+
+
+class TestProvenance:
+    def test_payloads_carry_a_provenance_block(self):
+        payload = make_bench_payload("prov", {"ms": 1.0}, created_unix=0.0)
+        provenance = payload["provenance"]
+        assert payload["schema_version"] == 2
+        assert provenance["page_size"] == 8 * 1024
+        assert provenance["sort_run_page_size"] == 1 * 1024
+        assert provenance["buffer_size"] == 256 * 1024
+        assert provenance["sort_buffer_size"] == 100 * 1024
+        # The Table 3 weights travel with every measurement.
+        weights = provenance["io_weights"]
+        assert weights["seek_ms"] == 20.0
+        assert weights["latency_ms_per_transfer"] == 8.0
+        assert "git_commit" in provenance  # str or None, never absent
+
+    def test_provenance_reflects_a_custom_config(self):
+        from repro.obs.export import provenance_info
+        from repro.storage.config import KIB, StorageConfig
+
+        info = provenance_info(StorageConfig(page_size=2 * KIB))
+        assert info["page_size"] == 2 * KIB
+
+    def test_provenance_override_is_deterministic(self):
+        stamp = {"git_commit": "cafebabe", "note": "pinned"}
+        payload = make_bench_payload(
+            "prov", {"ms": 1.0}, created_unix=0.0, provenance=stamp
+        )
+        assert payload["provenance"] == stamp
+        assert payload["provenance"] is not stamp  # defensive copy
+
+    def test_v1_payload_without_provenance_still_loads(self, tmp_path):
+        """Trajectory back-compat: v1 artifacts predate provenance."""
+        import json as json_mod
+
+        legacy = make_bench_payload("legacy", {"ms": 2.0}, created_unix=0.0)
+        legacy["schema_version"] = 1
+        del legacy["provenance"]
+        path = tmp_path / "BENCH_legacy.json"
+        path.write_text(json_mod.dumps(legacy))
+        payload = load_bench_json(path)
+        assert payload["schema_version"] == 1
+        assert "provenance" not in payload
+
+    def test_v2_payload_requires_provenance(self):
+        payload = make_bench_payload("strict", {"ms": 1.0}, created_unix=0.0)
+        del payload["provenance"]
+        with pytest.raises(ValueError, match="provenance"):
+            validate_bench_payload(payload)
+
+    def test_v1_with_malformed_provenance_rejected(self):
+        payload = make_bench_payload("mixed", {"ms": 1.0}, created_unix=0.0)
+        payload["schema_version"] = 1
+        payload["provenance"] = "8KiB pages"
+        with pytest.raises(ValueError, match="provenance"):
+            validate_bench_payload(payload)
+
+    def test_git_commit_is_resolved_in_this_checkout(self):
+        """The repo under test *is* a git checkout, so the best-effort
+        lookup should succeed here and give a 40-hex commit."""
+        from repro.obs.export import _git_commit
+
+        commit = _git_commit()
+        assert commit is None or (
+            len(commit) == 40 and all(c in "0123456789abcdef" for c in commit)
+        )

@@ -1,0 +1,157 @@
+"""Per-device buffer statistics and the live observer hook."""
+
+import pytest
+
+from repro.obs.metrics import (
+    MetricsRegistry,
+    absorb_buffer_stats,
+    observe_buffer_pool,
+    unobserve_buffer_pool,
+)
+from repro.storage.buffer import BufferPool
+from repro.storage.config import KIB, StorageConfig
+from repro.storage.disk import SimulatedDisk
+from repro.storage.stats import IoStatistics
+
+
+def small_pool() -> tuple[BufferPool, SimulatedDisk]:
+    """A pool of 4 one-KiB frames over one device (evicts quickly)."""
+    config = StorageConfig(
+        page_size=1 * KIB,
+        buffer_size=4 * KIB,
+        memory_limit=4 * KIB,
+        sort_buffer_size=1 * KIB,
+    )
+    pool = BufferPool(config)
+    disk = pool.register_device(SimulatedDisk("data", 1 * KIB, IoStatistics()))
+    return pool, disk
+
+
+def churn(pool: BufferPool, disk: SimulatedDisk, pages: int = 8) -> list[int]:
+    numbers = []
+    for _ in range(pages):
+        page_no, _buf = pool.new_page(disk.name)
+        numbers.append(page_no)
+        pool.unfix(disk.name, page_no, dirty=True)
+    for page_no in numbers:  # re-fix: misses for the evicted ones
+        pool.fix(disk.name, page_no)
+        pool.unfix(disk.name, page_no)
+    return numbers
+
+
+class TestPerDeviceStats:
+    def test_by_device_breakdown_sums_to_globals(self):
+        pool, disk = small_pool()
+        churn(pool, disk)
+        stats = pool.stats
+        assert set(stats.by_device) == {"data"}
+        device = stats.by_device["data"]
+        assert device.fixes == stats.fixes
+        assert device.misses == stats.misses
+        assert device.evictions == stats.evictions
+        assert device.writebacks == stats.writebacks
+
+    def test_hits_and_hit_ratio(self):
+        pool, disk = small_pool()
+        churn(pool, disk)
+        stats = pool.stats
+        assert stats.hits == stats.fixes - stats.misses
+        assert stats.hit_ratio == pytest.approx(1.0 - stats.misses / stats.fixes)
+        device = stats.by_device["data"]
+        assert device.hits == device.fixes - device.misses
+        assert 0.0 <= device.hit_ratio <= 1.0
+
+    def test_eviction_pressure_is_counted(self):
+        pool, disk = small_pool()
+        churn(pool, disk, pages=10)
+        # 10 one-KiB pages through 4 frames: evictions are inevitable.
+        assert pool.stats.evictions > 0
+        assert pool.stats.writebacks > 0
+
+    def test_two_devices_are_separated(self):
+        config = StorageConfig(
+            page_size=1 * KIB,
+            buffer_size=4 * KIB,
+            memory_limit=4 * KIB,
+            sort_buffer_size=1 * KIB,
+        )
+        pool = BufferPool(config)
+        stats_sink = IoStatistics()
+        a = pool.register_device(SimulatedDisk("a", 1 * KIB, stats_sink))
+        pool.register_device(SimulatedDisk("b", 1 * KIB, stats_sink))
+        page, _buf = pool.new_page("a")
+        pool.unfix("a", page, dirty=True)
+        assert "a" in pool.stats.by_device
+        assert "b" not in pool.stats.by_device  # untouched device, no entry
+        assert pool.stats.by_device["a"].fixes == 1
+        del a
+
+    def test_absorb_buffer_stats_per_device_families(self):
+        pool, disk = small_pool()
+        churn(pool, disk)
+        registry = MetricsRegistry()
+        absorb_buffer_stats(registry, pool.stats)
+        assert registry.value("repro_buffer_fixes_total") == pool.stats.fixes
+        assert registry.value("repro_buffer_hits_total") == pool.stats.hits
+        assert (
+            registry.value("repro_buffer_device_fixes_total", device="data")
+            == pool.stats.by_device["data"].fixes
+        )
+        assert (
+            registry.value("repro_buffer_device_misses_total", device="data")
+            == pool.stats.by_device["data"].misses
+        )
+        assert registry.value(
+            "repro_buffer_device_hit_ratio", device="data"
+        ) == pytest.approx(pool.stats.by_device["data"].hit_ratio)
+
+
+class TestObserverHook:
+    def test_observer_sees_lifecycle_events(self):
+        pool, disk = small_pool()
+        seen: list[tuple[str, str, int]] = []
+        pool.observer = lambda event, device, page_no: seen.append(
+            (event, device, page_no)
+        )
+        churn(pool, disk)
+        events = {event for event, _, _ in seen}
+        assert {"fix", "miss", "unfix", "eviction", "writeback"} <= events
+        assert all(device == "data" for _, device, _ in seen)
+
+    def test_observer_counts_match_stats(self):
+        pool, disk = small_pool()
+        counts: dict[str, int] = {}
+        pool.observer = lambda event, device, page_no: counts.__setitem__(
+            event, counts.get(event, 0) + 1
+        )
+        churn(pool, disk)
+        assert counts.get("fix", 0) == pool.stats.fixes
+        assert counts.get("miss", 0) == pool.stats.misses
+        assert counts.get("eviction", 0) == pool.stats.evictions
+        assert counts.get("writeback", 0) == pool.stats.writebacks
+
+    def test_observe_buffer_pool_streams_metrics(self):
+        pool, disk = small_pool()
+        registry = MetricsRegistry()
+        observer = observe_buffer_pool(pool, registry)
+        assert pool.observer is observer
+        churn(pool, disk)
+        assert (
+            registry.value("repro_buffer_events_total", event="fix", device="data")
+            == pool.stats.fixes
+        )
+        assert (
+            registry.value("repro_buffer_events_total", event="miss", device="data")
+            == pool.stats.misses
+        )
+        unobserve_buffer_pool(pool, observer)
+        assert pool.observer is None
+
+    def test_unobserve_leaves_foreign_observer_alone(self):
+        pool, _disk = small_pool()
+        registry = MetricsRegistry()
+        mine = observe_buffer_pool(pool, registry)
+        other = lambda event, device, page_no: None
+        pool.observer = other
+        unobserve_buffer_pool(pool, mine)  # not mine any more: no-op
+        assert pool.observer is other

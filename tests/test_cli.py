@@ -194,3 +194,135 @@ class TestBrokenPipe:
         monkeypatch.setattr(cli, "build_parser", lambda: parser)
         assert cli.main(["figure2"]) == 128 + 13
         assert FakeOs.dup2_calls  # stdout was redirected to devnull
+
+
+class TestTraceSubcommands:
+    def test_record_prints_summary_and_verdicts(self, capsys):
+        assert (
+            main(
+                [
+                    "trace",
+                    "record",
+                    "--strategy",
+                    "hash-division",
+                    "--divisor",
+                    "10",
+                    "--quotient",
+                    "10",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "division: hash-division" in out
+        assert "conservation OK" in out
+        assert "attribution OK" in out
+        assert "I/O trace:" in out
+
+    def test_record_figure2_workload(self, capsys):
+        assert main(["trace", "record", "--workload", "figure2"]) == 0
+        out = capsys.readouterr().out
+        assert "conservation OK" in out
+
+    def test_record_writes_jsonl_and_chrome(self, tmp_path, capsys):
+        import json
+
+        jsonl = tmp_path / "events.jsonl"
+        chrome = tmp_path / "trace.json"
+        assert (
+            main(
+                [
+                    "trace",
+                    "record",
+                    "--divisor",
+                    "5",
+                    "--quotient",
+                    "5",
+                    "--jsonl",
+                    str(jsonl),
+                    "--chrome",
+                    str(chrome),
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert f"wrote Chrome trace to {chrome}" in out
+        lines = jsonl.read_text().splitlines()
+        assert lines and all(json.loads(line)["device"] for line in lines)
+        payload = json.loads(chrome.read_text())
+        assert any(event["ph"] == "X" for event in payload["traceEvents"])
+
+    def test_summarize_round_trips_jsonl(self, tmp_path, capsys):
+        jsonl = tmp_path / "events.jsonl"
+        assert (
+            main(
+                [
+                    "trace",
+                    "record",
+                    "--divisor",
+                    "5",
+                    "--quotient",
+                    "5",
+                    "--jsonl",
+                    str(jsonl),
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        assert main(["trace", "summarize", str(jsonl)]) == 0
+        out = capsys.readouterr().out
+        assert "I/O trace:" in out
+        assert "data" in out  # per-device table names the data device
+
+    def test_export_writes_chrome_trace(self, tmp_path, capsys):
+        import json
+
+        out_file = tmp_path / "division.trace.json"
+        assert (
+            main(
+                [
+                    "trace",
+                    "export",
+                    "--strategy",
+                    "naive",
+                    "--divisor",
+                    "5",
+                    "--quotient",
+                    "5",
+                    "--out",
+                    str(out_file),
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "naive" in out and str(out_file) in out
+        payload = json.loads(out_file.read_text())
+        assert payload["displayTimeUnit"] == "ms"
+
+    def test_export_jsonl_format(self, tmp_path, capsys):
+        out_file = tmp_path / "events.jsonl"
+        assert (
+            main(
+                [
+                    "trace",
+                    "export",
+                    "--format",
+                    "jsonl",
+                    "--divisor",
+                    "5",
+                    "--quotient",
+                    "5",
+                    "--out",
+                    str(out_file),
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        from repro.obs import read_jsonl
+
+        events = read_jsonl(str(out_file))
+        assert events and events[0].device
