@@ -7,6 +7,7 @@ Examples::
     python -m repro table2
     python -m repro table3
     python -m repro table4 --sizes 25x25,100x100 [--profile]
+    python -m repro explain --scenario second-example
     python -m repro advisor --dividend 160000 --divisor 400 --restricted
     python -m repro parallel --processors 8 --strategy divisor
     python -m repro profile --strategy hash-division --divisor 25 --quotient 25
@@ -227,6 +228,54 @@ def _cmd_profile(args: argparse.Namespace) -> None:
         print(run.profile.render())
 
 
+#: Named workload scenarios for `repro explain`.
+EXPLAIN_SCENARIOS = ("figure2", "first-example", "second-example", "synthetic")
+
+
+def _explain_query(args: argparse.Namespace):
+    """Build the ``contains`` query of one named scenario (no execution)."""
+    from repro.query import Query
+    from repro.relalg.predicates import AttributeContains
+
+    if args.scenario == "figure2":
+        from repro.workloads.university import figure2_courses, figure2_transcript
+
+        return Query(figure2_transcript()).contains(Query(figure2_courses()))
+    if args.scenario == "synthetic":
+        from repro.workloads.synthetic import make_exact_division
+
+        dividend, divisor = make_exact_division(
+            args.divisor, args.quotient, seed=args.seed
+        )
+        return Query(dividend).contains(Query(divisor))
+    from repro.workloads.university import make_university
+
+    workload = make_university(
+        students=args.students,
+        courses=args.courses,
+        database_courses=max(1, args.courses // 4),
+        completionists=max(1, args.students // 10),
+        seed=args.seed,
+    )
+    enrollment = Query(workload.transcript).project("student_id", "course_no")
+    if args.scenario == "first-example":
+        # "Students who have taken all courses" -- unrestricted divisor.
+        divisor = Query(workload.courses).project("course_no")
+    else:
+        # "Students who have taken all *database* courses" -- the
+        # restricted divisor that disqualifies the no-join counters.
+        divisor = (
+            Query(workload.courses)
+            .where(AttributeContains("title", "database"))
+            .project("course_no")
+        )
+    return enrollment.contains(divisor)
+
+
+def _cmd_explain(args: argparse.Namespace) -> None:
+    print(_explain_query(args).explain())
+
+
 def _cmd_advisor(args: argparse.Namespace) -> None:
     estimates = DivisionEstimates(
         dividend_tuples=args.dividend,
@@ -427,6 +476,40 @@ def build_parser() -> argparse.ArgumentParser:
         help="profile tree, JSON document, or Prometheus text metrics",
     )
     profile_parser.set_defaults(handler=_cmd_profile)
+
+    explain_parser = commands.add_parser(
+        "explain",
+        help="render the compiled physical plan of a contains query "
+        "(no execution)",
+        description="Build one of the paper's example queries as a "
+        "Query ... contains pipeline, compile it through the planner "
+        "(the cost advisor picks the division operator at plan time), "
+        "and print the decision plus the physical operator tree -- "
+        "without executing the plan.",
+    )
+    explain_parser.add_argument(
+        "--scenario",
+        choices=EXPLAIN_SCENARIOS,
+        default="second-example",
+        help="figure2: the worked example; first-example: all courses "
+        "(unrestricted divisor); second-example: all *database* courses "
+        "(restricted divisor); synthetic: an R = Q x S workload "
+        "(default: second-example)",
+    )
+    explain_parser.add_argument(
+        "--students", type=int, default=40, help="university students"
+    )
+    explain_parser.add_argument(
+        "--courses", type=int, default=12, help="university courses"
+    )
+    explain_parser.add_argument(
+        "--divisor", type=int, default=25, help="|S| for --scenario synthetic"
+    )
+    explain_parser.add_argument(
+        "--quotient", type=int, default=25, help="|Q| for --scenario synthetic"
+    )
+    explain_parser.add_argument("--seed", type=int, default=0)
+    explain_parser.set_defaults(handler=_cmd_explain)
 
     advisor_parser = commands.add_parser(
         "advisor", help="rank strategies for given input estimates"

@@ -31,7 +31,12 @@ from repro.core.partitioned import (
     hash_division_with_overflow,
     quotient_partitioned_division,
 )
-from repro.core.divide import ALGORITHMS, divide, divide_with_advisor
+from repro.core.divide import (
+    ALGORITHMS,
+    advisor_dispatch,
+    divide,
+    divide_with_advisor,
+)
 from repro.core.trace import DivisionTrace, TraceEvent, trace_hash_division
 
 __all__ = [
@@ -49,6 +54,7 @@ __all__ = [
     "hash_division_with_overflow",
     "divide",
     "divide_with_advisor",
+    "advisor_dispatch",
     "ALGORITHMS",
     "DivisionTrace",
     "TraceEvent",

@@ -91,6 +91,7 @@ def _resolve(algorithm: str, divisor: Relation) -> str:
 
 
 #: Maps the cost advisor's strategy names onto divide() invocations.
+#: Private storage -- read it through :func:`advisor_dispatch`.
 _ADVISOR_DISPATCH: dict[str, tuple[str, dict]] = {
     "hash-division": ("hash", {}),
     "naive": ("naive", {}),
@@ -99,6 +100,31 @@ _ADVISOR_DISPATCH: dict[str, tuple[str, dict]] = {
     "hash-agg no join": ("hash-aggregate", {"with_join": False}),
     "hash-agg with join": ("hash-aggregate", {"with_join": True}),
 }
+
+
+def advisor_dispatch(strategy: str | None = None):
+    """Public accessor for the advisor-strategy -> divide() registry.
+
+    Args:
+        strategy: An advisor strategy name (e.g. ``"sort-agg with
+            join"``).  When given, returns its ``(algorithm, options)``
+            pair -- ``options`` is a fresh dict, safe to mutate.  When
+            omitted, returns a copy of the whole registry.
+
+    Raises:
+        DivisionError: for an unknown strategy name.
+    """
+    if strategy is None:
+        return {name: (algo, dict(opts)) for name, (algo, opts) in
+                _ADVISOR_DISPATCH.items()}
+    try:
+        algorithm, options = _ADVISOR_DISPATCH[strategy]
+    except KeyError:
+        raise DivisionError(
+            f"unknown advisor strategy {strategy!r}; "
+            f"expected one of {sorted(_ADVISOR_DISPATCH)}"
+        ) from None
+    return algorithm, dict(options)
 
 
 def divide_with_advisor(
@@ -130,9 +156,9 @@ def divide_with_advisor(
         may_contain_duplicates=dividend.has_duplicates() or divisor.has_duplicates(),
     )
     picked = choose_strategy(estimates)
-    algorithm, options = _ADVISOR_DISPATCH[picked.strategy]
+    algorithm, options = advisor_dispatch(picked.strategy)
     if algorithm in ("sort-aggregate", "hash-aggregate"):
-        options = dict(options, eliminate_duplicates=estimates.may_contain_duplicates)
+        options["eliminate_duplicates"] = estimates.may_contain_duplicates
     quotient = divide(
         dividend, divisor, algorithm=algorithm, ctx=ctx, name=name, **options
     )

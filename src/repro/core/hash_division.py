@@ -147,9 +147,12 @@ class HashDivision(QueryIterator):
                 )
                 self._free_divisor_table()
                 self._output = self._scan_quotient_table()
-        except HashTableOverflowError:
+        except BaseException:
             # Release everything so an overflow driver can retry with
-            # partitioning against the same memory pool.
+            # partitioning against the same memory pool -- and so any
+            # other failure during open leaves no charged table behind
+            # and no child input open (each build/consume step closes
+            # its own input on the way out).
             self._release_tables()
             raise
 

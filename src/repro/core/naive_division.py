@@ -87,7 +87,13 @@ class NaiveDivision(QueryIterator):
             len(self._divisor_list),
             algorithm="naive",
         )
-        self.dividend.open()
+        try:
+            self.dividend.open()
+        except BaseException:
+            # Leave the operator re-openable: a failed dividend open
+            # must not keep the divisor list of the aborted attempt.
+            self._divisor_list = []
+            raise
         self._pending = None
         self._done = False
 

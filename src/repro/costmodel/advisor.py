@@ -183,6 +183,47 @@ def choose_strategy(
     return rank_strategies(estimates, units)[0]
 
 
+@dataclass(frozen=True)
+class AdvisorChoice:
+    """The advisor's plan-time verdict: winner plus full ranking.
+
+    This is the interface the planner (:mod:`repro.plan.planner`)
+    consumes: :attr:`strategy` names the physical operator tree to
+    compile, and :attr:`ranking` keeps every applicable alternative
+    with its price so ``explain()`` can show what was rejected and why.
+    """
+
+    strategy: str
+    estimated_ms: float
+    note: str
+    ranking: tuple[RankedStrategy, ...]
+
+    @property
+    def winner(self) -> RankedStrategy:
+        """The ranked entry the choice was taken from."""
+        return self.ranking[0]
+
+
+def advise(
+    estimates: DivisionEstimates,
+    units: CostUnits = PAPER_UNITS,
+) -> AdvisorChoice:
+    """Plan-time entry point: rank everything, return the full verdict.
+
+    Equivalent to :func:`choose_strategy` but returns the whole ranked
+    field alongside the winner, so a planner consults the advisor once
+    per division and still has everything needed for plan display.
+    """
+    ranking = tuple(rank_strategies(estimates, units))
+    winner = ranking[0]
+    return AdvisorChoice(
+        strategy=winner.strategy,
+        estimated_ms=winner.estimated_ms,
+        note=winner.note,
+        ranking=ranking,
+    )
+
+
 def _scenario(
     estimates: DivisionEstimates, divisor_tuples: int | None = None
 ) -> DivisionScenario:

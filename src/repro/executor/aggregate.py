@@ -153,32 +153,46 @@ class HashGroupCount(QueryIterator):
         extract = projector(self.input_op.schema, self.group_names)
         group_bytes = self.input_op.schema.project(self.group_names).record_size
         self.input_op.open()
+        input_open = True
         try:
-            first_pass = list(self.input_op) if self.expected_groups == 0 else None
-        finally:
             if self.expected_groups == 0:
+                # No sizing hint: size the table from the actual input
+                # (the pessimistic all-distinct case).
+                first_pass = list(self.input_op)
                 self.input_op.close()
-        if first_pass is not None:
-            # No sizing hint: size the table from the actual input
-            # (the pessimistic all-distinct case).
-            expected = max(1, len(first_pass))
-            rows = iter(first_pass)
-        else:
-            expected = self.expected_groups
-            rows = iter(self.input_op)
-        self._table = ChainedHashTable(
-            self.ctx.cpu,
-            self.ctx.memory,
-            bucket_count=ChainedHashTable.buckets_for(expected),
-            entry_bytes=group_bytes + 8,
-            tag="hash-aggregate",
-            tracer=self.ctx.tracer,
-        )
-        for row in rows:
-            counter, _ = self._table.find_or_insert(extract(row), lambda: [0])
-            counter[0] += 1
-        if first_pass is None:
-            self.input_op.close()
+                input_open = False
+                expected = max(1, len(first_pass))
+                rows = iter(first_pass)
+            else:
+                expected = self.expected_groups
+                rows = iter(self.input_op)
+            self._table = ChainedHashTable(
+                self.ctx.cpu,
+                self.ctx.memory,
+                bucket_count=ChainedHashTable.buckets_for(expected),
+                entry_bytes=group_bytes + 8,
+                tag="hash-aggregate",
+                tracer=self.ctx.tracer,
+            )
+            for row in rows:
+                counter, _ = self._table.find_or_insert(extract(row), lambda: [0])
+                counter[0] += 1
+            if input_open:
+                self.input_op.close()
+                input_open = False
+        except BaseException:
+            # A failed open (overflow mid-aggregation, a child error)
+            # must not leave the input open or the charged table
+            # allocated -- the operator stays re-openable.
+            if self._table is not None:
+                self._table.free()
+                self._table = None
+            if input_open:
+                try:
+                    self.input_op.close()
+                except Exception:  # noqa: BLE001 - the original error wins
+                    pass
+            raise
         self._output = (
             group + (counter[0],) for group, counter in self._table.items()
         )

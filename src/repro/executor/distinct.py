@@ -49,7 +49,13 @@ class HashDistinct(QueryIterator):
             tag="hash-distinct",
             tracer=self.ctx.tracer,
         )
-        self.input_op.open()
+        try:
+            self.input_op.open()
+        except BaseException:
+            # A failed child open must not leak the charged table.
+            self._table.free()
+            self._table = None
+            raise
 
     def _next(self) -> Optional[Row]:
         assert self._table is not None

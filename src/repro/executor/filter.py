@@ -24,8 +24,10 @@ class Select(QueryIterator):
         self._test = None
 
     def _open(self) -> None:
-        self.input_op.open()
+        # Compile before opening the input: a predicate that fails to
+        # compile must not leave the child open.
         self._test = self.predicate.compile(self.schema)
+        self.input_op.open()
 
     def _next(self) -> Optional[Row]:
         assert self._test is not None

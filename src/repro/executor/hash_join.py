@@ -66,12 +66,19 @@ class HashSemiJoin(QueryIterator):
             tag="semijoin-build",
             tracer=self.ctx.tracer,
         )
-        for row in rows:
-            key = self._build_key(row)
-            # Build-side duplicates would only lengthen chains; keep
-            # one entry per key (a semi-join needs existence only).
-            _, _inserted = self._table.find_or_insert(key, lambda: True)
-        self.probe.open()
+        try:
+            for row in rows:
+                key = self._build_key(row)
+                # Build-side duplicates would only lengthen chains; keep
+                # one entry per key (a semi-join needs existence only).
+                _, _inserted = self._table.find_or_insert(key, lambda: True)
+            self.probe.open()
+        except BaseException:
+            # Overflow mid-build or a failed probe open must not leak
+            # the charged build table.
+            self._table.free()
+            self._table = None
+            raise
 
     def _next(self) -> Optional[Row]:
         assert self._table is not None
@@ -145,11 +152,18 @@ class HashJoin(QueryIterator):
             tag="join-build",
             tracer=self.ctx.tracer,
         )
-        for row in rows:
-            key = self._build_key(row)
-            group, _ = self._table.find_or_insert(key, list)
-            group.append(self._build_rest(row))
-        self.probe.open()
+        try:
+            for row in rows:
+                key = self._build_key(row)
+                group, _ = self._table.find_or_insert(key, list)
+                group.append(self._build_rest(row))
+            self.probe.open()
+        except BaseException:
+            # Overflow mid-build or a failed probe open must not leak
+            # the charged build table.
+            self._table.free()
+            self._table = None
+            raise
         self._pending = []
 
     def _next(self) -> Optional[Row]:

@@ -23,7 +23,7 @@ from __future__ import annotations
 
 import enum
 import itertools
-from typing import Iterator, Optional
+from typing import Iterator, Optional, Sequence
 
 from repro.errors import ExecutionError
 from repro.metering import CpuCounters
@@ -288,6 +288,29 @@ class QueryIterator:
     def describe(self) -> str:
         """One-line operator description used by :meth:`explain`."""
         return type(self).__name__
+
+
+def open_all(operators: Sequence[QueryIterator]) -> None:
+    """Open several child operators, unwinding cleanly on failure.
+
+    If ``open()`` of a later child raises, every child opened so far is
+    closed (in reverse order) before the exception propagates -- the
+    state-machine guarantee multi-input operators need so a failed
+    ``_open`` never leaks an open subtree.  A close failure during the
+    unwind is suppressed in favour of the original exception.
+    """
+    opened: list[QueryIterator] = []
+    try:
+        for operator in operators:
+            operator.open()
+            opened.append(operator)
+    except BaseException:
+        for operator in reversed(opened):
+            try:
+                operator.close()
+            except Exception:  # noqa: BLE001 - the original error wins
+                pass
+        raise
 
 
 def run_to_relation(operator: QueryIterator, name: str = "") -> Relation:

@@ -25,8 +25,10 @@ class Project(QueryIterator):
         self._extract = None
 
     def _open(self) -> None:
-        self.input_op.open()
+        # Build the projector before opening the input: a bad name list
+        # must not leave the child open.
         self._extract = projector(self.input_op.schema, self.names)
+        self.input_op.open()
 
     def _next(self) -> Optional[Row]:
         assert self._extract is not None

@@ -129,19 +129,28 @@ class ExternalSort(QueryIterator):
         capacity = self.ctx.config.sort_run_capacity_records(self._codec.record_size)
         self.input_op.open()
         try:
-            in_memory = self._generate_runs(capacity)
-        finally:
-            self.input_op.close()
-        if in_memory is not None:
-            self._output = iter(in_memory)
-            return
-        fan_in = self.ctx.config.sort_fan_in
-        while len(self._runs) > fan_in:
-            self._runs = self._merge_pass(self._runs, fan_in)
-            self.merge_passes_performed += 1
-        self._output = self._merge_streams(
-            [self._run_rows(run) for run in self._runs]
-        )
+            try:
+                in_memory = self._generate_runs(capacity)
+            finally:
+                self.input_op.close()
+            if in_memory is not None:
+                self._output = iter(in_memory)
+                return
+            fan_in = self.ctx.config.sort_fan_in
+            while len(self._runs) > fan_in:
+                self._runs = self._merge_pass(self._runs, fan_in)
+                self.merge_passes_performed += 1
+            self._output = self._merge_streams(
+                [self._run_rows(run) for run in self._runs]
+            )
+        except BaseException:
+            # A failed open never reaches _close (the state machine
+            # stays CLOSED), so spilled run files must be destroyed
+            # here or they leak on the run device.
+            for run in self._runs:
+                run.destroy()
+            self._runs = []
+            raise
 
     def _next(self) -> Optional[Row]:
         assert self._output is not None

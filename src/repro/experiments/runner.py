@@ -14,19 +14,12 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.errors import ExperimentError
-from repro.core.hash_division import HashDivision
-from repro.core.naive_division import NaiveDivision
-from repro.core.aggregate_division import (
-    HashAggregateDivision,
-    SortAggregateDivision,
-)
 from repro.costmodel.units import CostUnits, PAPER_UNITS
 from repro.executor.iterator import ExecContext, QueryIterator, run_to_relation
 from repro.obs.profile import QueryProfile, build_profile
 from repro.obs.span import Clock, MONOTONIC_CLOCK
 from repro.executor.scan import StoredRelationScan
-from repro.executor.sort import ExternalSort
-from repro.relalg.algebra import division_attribute_split
+from repro.plan.physical import build_division_operator
 from repro.relalg.relation import Relation
 from repro.storage.catalog import Catalog
 
@@ -77,56 +70,26 @@ def build_strategy_plan(
     configuration (no explicit duplicate-elimination steps); pass False
     for workloads with duplicates, which inserts the preprocessing each
     strategy needs.
+
+    This is a thin adapter over the planner layer's
+    :func:`repro.plan.physical.build_division_operator` -- the single
+    strategy-name -> operator-tree factory shared with compiled
+    ``contains`` queries -- kept for the experiment harness's
+    vocabulary (Table 4 strategy names, duplicate-free default).
     """
-    quotient_names, divisor_names = division_attribute_split(
-        Relation(dividend_scan.schema), Relation(divisor_scan.schema)
-    )
+    if strategy not in STRATEGIES:
+        raise ExperimentError(
+            f"unknown strategy {strategy!r}; expected one of {STRATEGIES}"
+        )
     eliminate = not duplicate_free_inputs
-    if strategy == "naive":
-        sorted_dividend = ExternalSort(
-            dividend_scan,
-            key_names=quotient_names + divisor_names,
-            distinct=eliminate,
-        )
-        sorted_divisor = ExternalSort(
-            divisor_scan,
-            key_names=divisor_scan.schema.names,
-            distinct=eliminate,
-        )
-        return NaiveDivision(sorted_dividend, sorted_divisor)
-    if strategy == "sort-agg no join":
-        return SortAggregateDivision(
-            dividend_scan, divisor_scan, with_join=False, eliminate_duplicates=eliminate
-        )
-    if strategy == "sort-agg with join":
-        return SortAggregateDivision(
-            dividend_scan, divisor_scan, with_join=True, eliminate_duplicates=eliminate
-        )
-    if strategy == "hash-agg no join":
-        return HashAggregateDivision(
-            dividend_scan,
-            divisor_scan,
-            with_join=False,
-            eliminate_duplicates=eliminate,
-            expected_quotient=expected_quotient,
-        )
-    if strategy == "hash-agg with join":
-        return HashAggregateDivision(
-            dividend_scan,
-            divisor_scan,
-            with_join=True,
-            eliminate_duplicates=eliminate,
-            expected_quotient=expected_quotient,
-        )
-    if strategy == "hash-division":
-        return HashDivision(
-            dividend_scan,
-            divisor_scan,
-            expected_divisor=expected_divisor,
-            expected_quotient=expected_quotient,
-        )
-    raise ExperimentError(
-        f"unknown strategy {strategy!r}; expected one of {STRATEGIES}"
+    return build_division_operator(
+        strategy,
+        dividend_scan,
+        divisor_scan,
+        expected_divisor=expected_divisor,
+        expected_quotient=expected_quotient,
+        eliminate_duplicates=eliminate,
+        distinct_sorts=eliminate,
     )
 
 

@@ -246,6 +246,11 @@ class QueryProfile:
     units: CostUnits = PAPER_UNITS
     buffer: dict = field(default_factory=dict)
     metrics: object | None = None
+    #: Planner decisions (repro.plan.planner.DivisionDecision) made
+    #: while compiling the profiled plan, in compile order; rendered as
+    #: header lines so EXPLAIN ANALYZE shows plan-time choices next to
+    #: run-time measurements.
+    decisions: list = field(default_factory=list)
 
     def all_operators(self) -> Iterator[OperatorStats]:
         """Every operator record, pre-order across the roots."""
@@ -286,6 +291,8 @@ class QueryProfile:
                 self.cpu.comparisons, self.cpu.hashes, self.cpu.moves, self.cpu.bit_ops
             ),
         ]
+        for decision in self.decisions:
+            lines.extend(decision.render().splitlines())
         for root in self.roots:
             lines.extend(self._render_node(root, prefix="", is_last=True, is_root=True))
         return "\n".join(lines)
@@ -334,6 +341,14 @@ class QueryProfile:
                 "wall_ms": self.wall_s * 1e3,
             },
             "buffer": dict(self.buffer),
+            "planner": [
+                {
+                    "strategy": decision.strategy,
+                    "estimated_ms": decision.choice.estimated_ms,
+                    "quotient": list(decision.quotient_names),
+                }
+                for decision in self.decisions
+            ],
             "operators": [root.to_dict(self.units) for root in self.roots],
         }
 
@@ -345,6 +360,7 @@ def build_profile(
     cpu: CpuCounters | None = None,
     io_ms: float | None = None,
     wall_s: float | None = None,
+    decisions: list | None = None,
 ) -> QueryProfile:
     """Assemble a :class:`QueryProfile` from a tracer (and its context).
 
@@ -358,6 +374,8 @@ def build_profile(
         cpu: Global CPU counters for the run window.
         io_ms: Global Table 3 I/O milliseconds for the run window.
         wall_s: Wall-clock seconds for the run window.
+        decisions: Planner decisions to attach to the profile (see
+            :class:`repro.plan.planner.DivisionDecision`).
     """
     roots = list(tracer.operators.roots) if getattr(tracer, "enabled", False) else []
     if cpu is None:
@@ -385,4 +403,5 @@ def build_profile(
         units=units,
         buffer=buffer,
         metrics=getattr(tracer, "metrics", None),
+        decisions=list(decisions) if decisions else [],
     )

@@ -1,0 +1,200 @@
+"""Logical plan nodes: *what* to compute, not *how*.
+
+A logical plan is a small immutable tree built from five node kinds --
+``Source``, ``Filter``, ``Project``, ``Distinct``, and ``Divide``.  The
+query layer (:mod:`repro.query`) lowers its combinator pipelines into
+this representation; the planner (:mod:`repro.plan.planner`) compiles
+it into a physical :class:`~repro.executor.iterator.QueryIterator`
+tree, consulting the cost advisor for every ``Divide`` node.
+
+The module also ships :func:`evaluate`, a deliberately naive
+pure-Python reference evaluator.  It exists for two jobs:
+
+* **plan-time statistics** -- the planner streams the division inputs
+  through it once to gather the exact cardinalities and duplicate
+  flags the advisor prices (the same numbers the pre-planner query
+  layer fed it, so algorithm choices are unchanged), and
+* **testing** -- it is an executable specification the compiled
+  streaming pipeline is checked against.
+
+It never touches an :class:`~repro.executor.iterator.ExecContext`:
+no meters tick, no I/O is charged, nothing is traced.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.relalg.algebra import divide_set_semantics, division_attribute_split
+from repro.relalg.predicates import Predicate
+from repro.relalg.relation import Relation
+from repro.relalg.schema import Schema
+from repro.relalg.tuples import Row, projector
+
+
+class LogicalNode:
+    """Base class: every node knows its output schema and children."""
+
+    @property
+    def schema(self) -> Schema:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def children(self) -> tuple["LogicalNode", ...]:
+        return ()
+
+    def describe(self) -> str:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class SourceNode(LogicalNode):
+    """A base input: an in-memory relation feeding the plan."""
+
+    relation: Relation
+
+    @property
+    def schema(self) -> Schema:
+        return self.relation.schema
+
+    def describe(self) -> str:
+        label = self.relation.name or "relation"
+        return f"Source({label}, {len(self.relation)} tuples)"
+
+
+@dataclass(frozen=True)
+class FilterNode(LogicalNode):
+    """sigma: restrict the child by a predicate."""
+
+    child: LogicalNode
+    predicate: Predicate
+
+    @property
+    def schema(self) -> Schema:
+        return self.child.schema
+
+    def children(self) -> tuple[LogicalNode, ...]:
+        return (self.child,)
+
+    def describe(self) -> str:
+        return f"Filter({self.predicate!r})"
+
+
+@dataclass(frozen=True)
+class ProjectNode(LogicalNode):
+    """pi (bag semantics): keep the named attributes, keep every row."""
+
+    child: LogicalNode
+    names: tuple[str, ...]
+
+    @property
+    def schema(self) -> Schema:
+        return self.child.schema.project(self.names)
+
+    def children(self) -> tuple[LogicalNode, ...]:
+        return (self.child,)
+
+    def describe(self) -> str:
+        return f"Project({', '.join(self.names)})"
+
+
+@dataclass(frozen=True)
+class DistinctNode(LogicalNode):
+    """Duplicate elimination (first-occurrence order)."""
+
+    child: LogicalNode
+
+    @property
+    def schema(self) -> Schema:
+        return self.child.schema
+
+    def children(self) -> tuple[LogicalNode, ...]:
+        return (self.child,)
+
+    def describe(self) -> str:
+        return "Distinct"
+
+
+@dataclass(frozen=True)
+class DivideNode(LogicalNode):
+    """For-all: dividend ``contains`` divisor, i.e. relational division.
+
+    ``divisor_restricted`` records whether a ``Filter`` produced the
+    divisor -- the semantic flag that disqualifies the no-join counting
+    strategies (Section 2.2's correctness requirement).  It is carried
+    on the node (not rediscovered from the tree) so rewrites that
+    absorb the filter cannot lose it.
+    """
+
+    dividend: LogicalNode
+    divisor: LogicalNode
+    divisor_restricted: bool = False
+
+    @property
+    def quotient_names(self) -> tuple[str, ...]:
+        names, _ = division_attribute_split(
+            Relation(self.dividend.schema), Relation(self.divisor.schema)
+        )
+        return names
+
+    @property
+    def divisor_names(self) -> tuple[str, ...]:
+        _, names = division_attribute_split(
+            Relation(self.dividend.schema), Relation(self.divisor.schema)
+        )
+        return names
+
+    @property
+    def schema(self) -> Schema:
+        return self.dividend.schema.project(self.quotient_names)
+
+    def children(self) -> tuple[LogicalNode, ...]:
+        return (self.dividend, self.divisor)
+
+    def describe(self) -> str:
+        restricted = ", restricted divisor" if self.divisor_restricted else ""
+        return f"Divide(÷{','.join(self.divisor_names)}{restricted})"
+
+
+def evaluate(node: LogicalNode) -> Iterator[Row]:
+    """Reference evaluation: stream the node's rows, charging nothing.
+
+    Used by the planner for exact plan-time statistics and by the test
+    suite as the semantics oracle for the compiled pipeline.  Rows come
+    out in the same order the streaming operators produce them (input
+    order for Filter/Project, first-occurrence order for Distinct).
+    """
+    if isinstance(node, SourceNode):
+        yield from node.relation
+        return
+    if isinstance(node, FilterNode):
+        test = node.predicate.compile(node.schema)
+        for row in evaluate(node.child):
+            if test(row):
+                yield row
+        return
+    if isinstance(node, ProjectNode):
+        extract = projector(node.child.schema, node.names)
+        for row in evaluate(node.child):
+            yield extract(row)
+        return
+    if isinstance(node, DistinctNode):
+        seen: set = set()
+        for row in evaluate(node.child):
+            if row not in seen:
+                seen.add(row)
+                yield row
+        return
+    if isinstance(node, DivideNode):
+        dividend = Relation(node.dividend.schema, list(evaluate(node.dividend)))
+        divisor = Relation(node.divisor.schema, list(evaluate(node.divisor)))
+        yield from divide_set_semantics(dividend, divisor)
+        return
+    raise TypeError(f"unknown logical node {type(node).__name__}")
+
+
+def render_logical(node: LogicalNode, indent: int = 0) -> str:
+    """Indented textual rendering of a logical plan tree."""
+    lines = ["  " * indent + node.describe()]
+    lines.extend(render_logical(child, indent + 1) for child in node.children())
+    return "\n".join(lines)

@@ -1,0 +1,236 @@
+"""The planner: compile logical plans, choosing division algorithms.
+
+Section 5.2's argument, operationalized: because the ``contains``
+construct reaches the planner as an explicit ``Divide`` node, the
+planner can gather the *actual* input statistics (a zero-cost streaming
+pass over the reference evaluator -- exactly the numbers the eager
+query layer used to compute, so algorithm choices are unchanged), price
+every semantically applicable strategy with the Section 4 cost
+formulas, and compile the winner into the physical operator tree.  The
+decision is recorded on the plan, so ``explain()`` shows not just the
+tree but *why* it is that tree.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ExecutionError
+from repro.costmodel.advisor import AdvisorChoice, DivisionEstimates, advise
+from repro.costmodel.units import CostUnits, PAPER_UNITS
+from repro.executor.distinct import HashDistinct
+from repro.executor.filter import Select
+from repro.executor.iterator import ExecContext, QueryIterator
+from repro.executor.project import Project
+from repro.executor.scan import RelationSource
+from repro.plan.logical import (
+    DistinctNode,
+    DivideNode,
+    FilterNode,
+    LogicalNode,
+    ProjectNode,
+    SourceNode,
+    evaluate,
+)
+from repro.plan.physical import PhysicalPlan, build_division_operator
+from repro.relalg.tuples import projector
+
+
+@dataclass(frozen=True)
+class DivisionDecision:
+    """The planner's record of one division-algorithm choice.
+
+    Attributes:
+        strategy: The advisor strategy name that won.
+        estimates: The statistics the advisor priced.
+        quotient_names: The result attributes of the division.
+        choice: The full advisor verdict, including the ranking of
+            every applicable strategy -- kept so ``explain()`` can show
+            the alternatives, not just the winner.
+        eliminate_duplicates: Whether the compiled counting strategy
+            carries explicit duplicate-elimination preprocessing.
+    """
+
+    strategy: str
+    estimates: DivisionEstimates
+    quotient_names: tuple[str, ...]
+    choice: AdvisorChoice
+    eliminate_duplicates: bool = False
+
+    def render(self) -> str:
+        """Multi-line decision summary for plan display."""
+        lines = [
+            f"Division strategy: {self.strategy!r}"
+            f"  (est. {self.choice.estimated_ms:,.0f} model ms)",
+            f"  dividend: ~{self.estimates.dividend_tuples} tuples",
+            f"  divisor:  ~{self.estimates.divisor_tuples} tuples"
+            + (" (restricted)" if self.estimates.divisor_restricted else ""),
+            f"  quotient: {', '.join(self.quotient_names)}"
+            f" (~{self.estimates.estimated_quotient} tuples)",
+        ]
+        if self.estimates.may_contain_duplicates:
+            lines.append("  duplicates possible: counting needs preprocessing")
+        runners_up = [
+            ranked for ranked in self.choice.ranking if ranked.strategy != self.strategy
+        ]
+        if runners_up:
+            alternatives = ", ".join(
+                f"{ranked.strategy} ({ranked.estimated_ms:,.0f} ms)"
+                for ranked in runners_up[:3]
+            )
+            lines.append(f"  rejected: {alternatives}")
+        return "\n".join(lines)
+
+
+def collect_division_estimates(
+    dividend: LogicalNode,
+    divisor: LogicalNode,
+    divisor_restricted: bool = False,
+) -> tuple[DivisionEstimates, tuple[str, ...]]:
+    """Exact plan-time statistics for one division, plus quotient names.
+
+    Streams both inputs through the uncharged reference evaluator once:
+    |R|, the distinct |S|, the exact candidate count |Q|, and the
+    duplicate flags -- the same statistics the advisor has always been
+    fed, gathered without materializing either input as a
+    :class:`~repro.relalg.relation.Relation`.
+
+    Because the pass sees the exact values, it also *checks* the
+    Section 2.2 correctness precondition of the no-join counting
+    strategies instead of trusting the syntactic signal alone: when any
+    divisor-attribute value occurring in the dividend is missing from
+    the divisor (no referential integrity), the divisor is reported
+    restricted even without a ``where`` step, so the advisor refuses
+    the strategies that would count non-divisor tuples.
+    """
+    shell = DivideNode(dividend, divisor, divisor_restricted)
+    quotient_names = shell.quotient_names
+    quotient_of = projector(dividend.schema, quotient_names)
+    divisor_of = projector(dividend.schema, shell.divisor_names)
+    dividend_tuples = 0
+    dividend_seen: set = set()
+    dividend_duplicates = False
+    quotient_keys: set = set()
+    dividend_divisor_values: set = set()
+    for row in evaluate(dividend):
+        dividend_tuples += 1
+        if row in dividend_seen:
+            dividend_duplicates = True
+        else:
+            dividend_seen.add(row)
+        quotient_keys.add(quotient_of(row))
+        dividend_divisor_values.add(divisor_of(row))
+    divisor_tuples = 0
+    divisor_seen: set = set()
+    divisor_duplicates = False
+    for row in evaluate(divisor):
+        divisor_tuples += 1
+        if row in divisor_seen:
+            divisor_duplicates = True
+        else:
+            divisor_seen.add(row)
+    covered = dividend_divisor_values <= divisor_seen
+    estimates = DivisionEstimates(
+        dividend_tuples=dividend_tuples,
+        divisor_tuples=len(divisor_seen),
+        quotient_tuples=len(quotient_keys),
+        divisor_restricted=divisor_restricted or not covered,
+        may_contain_duplicates=dividend_duplicates or divisor_duplicates,
+    )
+    return estimates, quotient_names
+
+
+class Planner:
+    """Compiles logical plans into physical iterator trees.
+
+    One planner instance compiles one plan; its :attr:`decisions` list
+    records every division-algorithm choice made along the way.
+    """
+
+    def __init__(self, ctx: ExecContext, units: CostUnits = PAPER_UNITS) -> None:
+        self.ctx = ctx
+        self.units = units
+        self.decisions: list[DivisionDecision] = []
+        self._division_inputs: tuple[QueryIterator, QueryIterator] | None = None
+
+    def compile(self, node: LogicalNode) -> QueryIterator:
+        """Lower one logical node (and its subtree) to physical form."""
+        if isinstance(node, SourceNode):
+            return RelationSource(self.ctx, node.relation)
+        if isinstance(node, FilterNode):
+            return Select(self.compile(node.child), node.predicate)
+        if isinstance(node, ProjectNode):
+            return Project(self.compile(node.child), node.names)
+        if isinstance(node, DistinctNode):
+            return HashDistinct(self.compile(node.child))
+        if isinstance(node, DivideNode):
+            return self._compile_division(node)
+        raise ExecutionError(f"unplannable logical node {type(node).__name__}")
+
+    def _compile_division(self, node: DivideNode) -> QueryIterator:
+        estimates, quotient_names = collect_division_estimates(
+            node.dividend, node.divisor, node.divisor_restricted
+        )
+        choice = advise(estimates, self.units)
+        eliminate = (
+            estimates.may_contain_duplicates
+            if choice.strategy.startswith(("sort-agg", "hash-agg"))
+            else False
+        )
+        decision = DivisionDecision(
+            strategy=choice.strategy,
+            estimates=estimates,
+            quotient_names=quotient_names,
+            choice=choice,
+            eliminate_duplicates=eliminate,
+        )
+        self.decisions.append(decision)
+        dividend_input = self.compile(node.dividend)
+        divisor_input = self.compile(node.divisor)
+        self._division_inputs = (dividend_input, divisor_input)
+        return build_division_operator(
+            choice.strategy,
+            dividend_input,
+            divisor_input,
+            expected_divisor=estimates.divisor_tuples,
+            expected_quotient=estimates.estimated_quotient,
+            eliminate_duplicates=eliminate,
+            distinct_sorts=True,
+        )
+
+    @property
+    def division_inputs(self) -> tuple[QueryIterator, QueryIterator] | None:
+        """The (dividend, divisor) input subtrees of the last division."""
+        return self._division_inputs
+
+
+def compile_plan(
+    node: LogicalNode,
+    ctx: ExecContext | None = None,
+    units: CostUnits = PAPER_UNITS,
+) -> PhysicalPlan:
+    """Compile a logical plan into an executable :class:`PhysicalPlan`.
+
+    Args:
+        node: Root of the logical plan.
+        ctx: Execution context to compile against; a fresh unbudgeted
+            context is created when omitted.
+        units: Table 1 cost units the advisor prices strategies with.
+    """
+    ctx = ctx or ExecContext()
+    planner = Planner(ctx, units=units)
+    root = planner.compile(node)
+    dividend_input, divisor_input = (None, None)
+    if isinstance(node, DivideNode) and planner.division_inputs is not None:
+        # The overflow fallback substitutes partitioned hash-division
+        # for the whole plan, which is only sound when the division
+        # *is* the plan (always true for compiled ``contains`` queries).
+        dividend_input, divisor_input = planner.division_inputs
+    return PhysicalPlan(
+        root=root,
+        ctx=ctx,
+        logical=node,
+        decisions=planner.decisions,
+        dividend_input=dividend_input,
+        divisor_input=divisor_input,
+    )

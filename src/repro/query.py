@@ -27,21 +27,35 @@ a division: it feeds the actual input statistics to the cost advisor,
 including whether the divisor side was restricted by a ``where`` (which
 disqualifies the no-join counting strategies) and whether duplicates
 are possible (bag projections), and runs the cheapest correct
-algorithm.  ``explain()`` shows the decision.
+algorithm.  ``explain()`` shows the decision and the compiled plan.
+
+Execution is *streaming*: ``run()`` lowers the combinator pipeline to a
+logical plan (:mod:`repro.plan.logical`), compiles it into one
+open-next-close :class:`~repro.executor.iterator.QueryIterator` tree
+(:mod:`repro.plan.planner`), and drains that single pipeline -- no
+intermediate :class:`~repro.relalg.relation.Relation` is materialized
+per step, and the division algorithm chosen by the advisor at plan time
+is just another physical operator in the same tree.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.errors import DivisionError
-from repro.core.divide import _ADVISOR_DISPATCH, divide
-from repro.costmodel.advisor import DivisionEstimates, choose_strategy
+from repro.costmodel.advisor import DivisionEstimates
 from repro.executor.iterator import ExecContext
-from repro.metering import CpuCounters
-from repro.obs.profile import OperatorStats, QueryProfile, build_profile
-from repro.obs.span import Clock, MONOTONIC_CLOCK, Tracer
-from repro.relalg import algebra
+from repro.obs.profile import QueryProfile, build_profile
+from repro.obs.span import Clock, Tracer
+from repro.plan.logical import (
+    DistinctNode,
+    DivideNode,
+    FilterNode,
+    LogicalNode,
+    ProjectNode,
+    SourceNode,
+)
+from repro.plan.physical import PhysicalPlan
+from repro.plan.planner import collect_division_estimates, compile_plan
 from repro.relalg.predicates import Predicate
 from repro.relalg.relation import Relation
 from repro.relalg.tuples import projector
@@ -64,6 +78,48 @@ class _Step:
     kind: str  # "where" | "project" | "distinct"
     predicate: Predicate | None = None
     names: tuple[str, ...] = ()
+
+
+def _execute_profiled(
+    compile_fn,
+    ctx: ExecContext | None,
+    name: str,
+    clock: Clock | None,
+) -> ProfiledResult:
+    """Compile and run a plan under a recording tracer; build a profile.
+
+    Shared by :meth:`Query.run` and :meth:`ContainsQuery.run`: installs
+    a recording :class:`~repro.obs.span.Tracer` (restoring a borrowed
+    context's tracer afterwards), snapshots the global meters around
+    the run, and assembles the EXPLAIN ANALYZE profile whose
+    per-operator deltas sum exactly to those global deltas.
+    """
+    tracer = Tracer(clock=clock)
+    owns_ctx = ctx is None
+    if owns_ctx:
+        ctx = ExecContext(tracer=tracer)
+        previous_tracer = None
+    else:
+        previous_tracer = ctx.tracer
+        ctx.tracer = tracer
+    cpu_before = ctx.cpu.snapshot()
+    io_ms_before = ctx.io_cost_ms()
+    started = tracer.clock.now()
+    try:
+        plan = compile_fn(ctx)
+        relation = plan.execute(name=name)
+    finally:
+        if previous_tracer is not None:
+            ctx.tracer = previous_tracer
+    profile = build_profile(
+        tracer,
+        ctx,
+        cpu=ctx.cpu.delta_since(cpu_before),
+        io_ms=ctx.io_cost_ms() - io_ms_before,
+        wall_s=tracer.clock.now() - started,
+        decisions=plan.decisions,
+    )
+    return ProfiledResult(relation, profile)
 
 
 class Query:
@@ -100,7 +156,7 @@ class Query:
         """
         return ContainsQuery(self, divisor)
 
-    # -- execution ---------------------------------------------------------
+    # -- planning ------------------------------------------------------
 
     @property
     def is_restricted(self) -> bool:
@@ -108,72 +164,60 @@ class Query:
         signal that division-by-counting would need a semi-join."""
         return any(step.kind == "where" for step in self._steps)
 
+    def logical_plan(self) -> LogicalNode:
+        """Lower the combinator pipeline to a logical plan tree."""
+        node: LogicalNode = SourceNode(self.relation)
+        for step in self._steps:
+            if step.kind == "where":
+                assert step.predicate is not None
+                node = FilterNode(node, step.predicate)
+            elif step.kind == "project":
+                node = ProjectNode(node, step.names)
+            else:
+                node = DistinctNode(node)
+        return node
+
+    def compile(self, ctx: ExecContext | None = None) -> PhysicalPlan:
+        """Compile the pipeline to an executable physical plan."""
+        return compile_plan(self.logical_plan(), ctx)
+
+    # -- execution ---------------------------------------------------------
+
     def run(
-        self, name: str = "", profile: bool = False, clock: Clock | None = None
+        self,
+        name: str = "",
+        profile: bool = False,
+        clock: Clock | None = None,
+        ctx: ExecContext | None = None,
     ) -> "Relation | ProfiledResult":
-        """Evaluate the pipeline to a relation.
+        """Compile and stream the pipeline to a relation.
 
         Args:
             name: Optional name for the result relation.
-            profile: When true, time each step and return a
-                :class:`ProfiledResult` carrying a step-tree
-                :class:`~repro.obs.profile.QueryProfile` instead of the
-                bare relation.
+            profile: When true, execute under a recording
+                :class:`~repro.obs.span.Tracer` and return a
+                :class:`ProfiledResult` carrying the EXPLAIN ANALYZE
+                :class:`~repro.obs.profile.QueryProfile` of the
+                compiled operator tree instead of the bare relation.
             clock: Injectable clock for deterministic profiling tests.
+            ctx: Execution context to run against; a fresh one is
+                created when omitted.
         """
         if not profile:
-            return self._run_steps(name)
-        clock = clock or MONOTONIC_CLOCK
-        started = clock.now()
-        node = OperatorStats(
-            label=f"Relation({self.relation.name or 'relation'})",
-            op_class="Relation",
-            rows_out=len(self.relation),
-        )
-        node.calls["run"] = 1
-        current = self.relation
-        for step in self._steps:
-            step_started = clock.now()
-            current = self._apply_step(current, step)
-            parent = OperatorStats(
-                label=self._describe_step(step),
-                op_class=step.kind.capitalize(),
-                rows_out=len(current),
-                wall_s=clock.now() - step_started,
-            )
-            parent.calls["run"] = 1
-            parent.children.append(node)
-            node = parent
-        if name:
-            current = current.rename(name)
-        query_profile = QueryProfile(
-            roots=[node],
-            cpu=CpuCounters(),
-            io_ms=0.0,
-            wall_s=clock.now() - started,
-        )
-        return ProfiledResult(current, query_profile)
+            return self.compile(ctx).execute(name=name)
+        return _execute_profiled(self.compile, ctx, name, clock)
 
-    def explain_analyze(self, clock: Clock | None = None) -> QueryProfile:
-        """Run the pipeline and return its per-step profile tree."""
-        result = self.run(profile=True, clock=clock)
+    def explain(self) -> str:
+        """The compiled physical plan tree (no execution)."""
+        return self.compile().explain()
+
+    def explain_analyze(
+        self, clock: Clock | None = None, ctx: ExecContext | None = None
+    ) -> QueryProfile:
+        """Run the compiled pipeline; return its per-operator profile."""
+        result = self.run(profile=True, clock=clock, ctx=ctx)
         assert isinstance(result, ProfiledResult)
         return result.profile
-
-    def _run_steps(self, name: str = "") -> Relation:
-        current = self.relation
-        for step in self._steps:
-            current = self._apply_step(current, step)
-        return current.rename(name) if name else current
-
-    @staticmethod
-    def _apply_step(current: Relation, step: _Step) -> Relation:
-        if step.kind == "where":
-            assert step.predicate is not None
-            return algebra.select(current, step.predicate)
-        if step.kind == "project":
-            return algebra.project(current, step.names, distinct=False)
-        return current.distinct()
 
     @staticmethod
     def _describe_step(step: _Step) -> str:
@@ -221,27 +265,69 @@ class ContainsQuery:
         #: The profile of the most recent ``run(profile=True)``.
         self.last_profile: QueryProfile | None = None
 
+    # -- planning ------------------------------------------------------
+
+    def logical_plan(self) -> DivideNode:
+        """Lower both pipelines into one ``Divide`` logical node."""
+        return DivideNode(
+            self.dividend.logical_plan(),
+            self.divisor.logical_plan(),
+            divisor_restricted=self.divisor.is_restricted,
+        )
+
+    def compile(self, ctx: ExecContext | None = None) -> PhysicalPlan:
+        """Compile to a physical plan; the advisor picks the algorithm.
+
+        The cost advisor is consulted *at plan time* with the exact
+        input statistics; the chosen division algorithm becomes a
+        physical operator in the single compiled iterator tree.
+        """
+        return compile_plan(self.logical_plan(), ctx)
+
     def plan(
         self,
         dividend_relation: Relation | None = None,
         divisor_relation: Relation | None = None,
     ) -> ContainsPlan:
-        """Pick the division strategy from the (evaluated) inputs."""
+        """Pick the division strategy from the (planned) inputs.
+
+        Without arguments, the statistics come from the planner's
+        zero-cost streaming pass over the logical plans; passing
+        already-evaluated relations reuses them instead.
+        """
+        from repro.costmodel.advisor import choose_strategy
+        from repro.relalg import algebra
+
+        if dividend_relation is None and divisor_relation is None:
+            node = self.logical_plan()
+            estimates, quotient_names = collect_division_estimates(
+                node.dividend, node.divisor, node.divisor_restricted
+            )
+            return ContainsPlan(
+                strategy=choose_strategy(estimates).strategy,
+                estimates=estimates,
+                quotient_names=quotient_names,
+            )
         dividend_relation = (
             dividend_relation if dividend_relation is not None else self.dividend.run()
         )
         divisor_relation = (
             divisor_relation if divisor_relation is not None else self.divisor.run()
         )
-        quotient_names, _ = algebra.division_attribute_split(
+        quotient_names, divisor_names = algebra.division_attribute_split(
             dividend_relation, divisor_relation
         )
         quotient_of = projector(dividend_relation.schema, quotient_names)
+        divisor_of = projector(dividend_relation.schema, divisor_names)
+        divisor_values = {tuple(row) for row in divisor_relation}
+        covered = {
+            divisor_of(row) for row in dividend_relation
+        } <= divisor_values
         estimates = DivisionEstimates(
             dividend_tuples=len(dividend_relation),
-            divisor_tuples=len(set(divisor_relation.rows)),
+            divisor_tuples=len(divisor_values),
             quotient_tuples=len({quotient_of(row) for row in dividend_relation}),
-            divisor_restricted=self.divisor.is_restricted,
+            divisor_restricted=self.divisor.is_restricted or not covered,
             may_contain_duplicates=(
                 dividend_relation.has_duplicates()
                 or divisor_relation.has_duplicates()
@@ -253,6 +339,8 @@ class ContainsQuery:
             quotient_names=quotient_names,
         )
 
+    # -- execution -----------------------------------------------------
+
     def run(
         self,
         ctx: ExecContext | None = None,
@@ -260,7 +348,7 @@ class ContainsQuery:
         profile: bool = False,
         clock: Clock | None = None,
     ) -> "Relation | ProfiledResult":
-        """Evaluate both sides, plan, and execute the division.
+        """Compile both sides and the division into one streaming plan.
 
         Args:
             ctx: Execution context; a fresh one is created when omitted.
@@ -268,41 +356,19 @@ class ContainsQuery:
             profile: When true, execute under a recording
                 :class:`~repro.obs.span.Tracer` and return a
                 :class:`ProfiledResult` whose profile is the full
-                EXPLAIN ANALYZE operator tree of the division plan.
+                EXPLAIN ANALYZE operator tree of the compiled plan.
             clock: Injectable clock for deterministic profiling tests.
         """
         if not profile:
-            return self._execute(ctx, name)
-        tracer = Tracer(clock=clock)
-        owns_ctx = ctx is None
-        if owns_ctx:
-            ctx = ExecContext(tracer=tracer)
-            previous_tracer = None
-        else:
-            previous_tracer = ctx.tracer
-            ctx.tracer = tracer
-        cpu_before = ctx.cpu.snapshot()
-        io_ms_before = ctx.io_cost_ms()
-        started = tracer.clock.now()
-        try:
-            relation = self._execute(ctx, name)
-        finally:
-            if previous_tracer is not None:
-                ctx.tracer = previous_tracer
-        query_profile = build_profile(
-            tracer,
-            ctx,
-            cpu=ctx.cpu.delta_since(cpu_before),
-            io_ms=ctx.io_cost_ms() - io_ms_before,
-            wall_s=tracer.clock.now() - started,
-        )
-        self.last_profile = query_profile
-        return ProfiledResult(relation, query_profile)
+            return self.compile(ctx).execute(name=name)
+        result = _execute_profiled(self.compile, ctx, name, clock)
+        self.last_profile = result.profile
+        return result
 
     def explain_analyze(
         self, ctx: ExecContext | None = None, clock: Clock | None = None
     ) -> QueryProfile:
-        """Execute the division under tracing; return the operator tree.
+        """Execute the compiled plan under tracing; return the tree.
 
         The reproduction's ``EXPLAIN ANALYZE``: per-iterator rows out,
         ``next()`` calls, Comp/Hash/Move/Bit deltas, buffer and I/O
@@ -313,35 +379,16 @@ class ContainsQuery:
         assert isinstance(result, ProfiledResult)
         return result.profile
 
-    def _execute(self, ctx: ExecContext | None, name: str) -> Relation:
-        dividend_relation = self.dividend.run()
-        divisor_relation = self.divisor.run()
-        plan = self.plan(dividend_relation, divisor_relation)
-        try:
-            algorithm, options = _ADVISOR_DISPATCH[plan.strategy]
-        except KeyError:  # pragma: no cover - advisor names are closed
-            raise DivisionError(f"unplannable strategy {plan.strategy!r}")
-        if algorithm in ("sort-aggregate", "hash-aggregate"):
-            options = dict(
-                options,
-                eliminate_duplicates=plan.estimates.may_contain_duplicates,
-            )
-        return divide(
-            dividend_relation,
-            divisor_relation,
-            algorithm=algorithm,
-            ctx=ctx,
-            name=name,
-            **options,
-        )
-
     def explain(self) -> str:
-        """The textual plan: pipelines, the decision, and why."""
+        """The textual plan: pipelines, the decision, the operator tree."""
         plan = self.plan()
+        physical = self.compile()
         return "\n".join(
             [
                 f"dividend: {self.dividend.describe()}",
                 f"divisor:  {self.divisor.describe()}",
                 plan.render(),
+                "physical plan:",
+                physical.root.explain(indent=1),
             ]
         )

@@ -4,7 +4,7 @@ import pytest
 
 from repro import divide
 from repro.errors import DivisionError
-from repro.core.divide import ALGORITHMS
+from repro.core.divide import ALGORITHMS, advisor_dispatch
 from repro.executor.iterator import ExecContext
 from repro.relalg.relation import Relation
 
@@ -58,3 +58,28 @@ class TestDispatch:
         dividend, divisor = inputs
         result = divide(dividend, divisor, algorithm="hash", early_output=True)
         assert set(result.rows) == expected_quotient
+
+
+class TestAdvisorDispatch:
+    """The public registry accessor (the old private-dict import path)."""
+
+    def test_lookup_returns_algorithm_and_fresh_options(self):
+        algorithm, options = advisor_dispatch("sort-agg with join")
+        assert algorithm == "sort-aggregate"
+        assert options == {"with_join": True}
+        options["with_join"] = False  # mutating the copy is safe
+        assert advisor_dispatch("sort-agg with join")[1] == {"with_join": True}
+
+    def test_full_registry_copy(self):
+        registry = advisor_dispatch()
+        assert "hash-division" in registry
+        registry.pop("hash-division")
+        assert "hash-division" in advisor_dispatch()  # original intact
+
+    def test_every_entry_names_a_registered_algorithm(self):
+        for strategy, (algorithm, _options) in advisor_dispatch().items():
+            assert algorithm in ALGORITHMS, strategy
+
+    def test_unknown_strategy_rejected(self):
+        with pytest.raises(DivisionError):
+            advisor_dispatch("quantum")

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.errors import ExecutionError
-from repro.executor.iterator import QueryIterator, run_to_relation
+from repro.executor.iterator import run_to_relation
 from repro.executor.scan import RelationSource
 from repro.relalg.relation import Relation
 

@@ -16,7 +16,7 @@ from repro.experiments.runner import STRATEGIES, run_strategy_on_relations
 from repro.metering import CpuCounters
 from repro.obs.profile import OperatorStats, QueryProfile, build_profile
 from repro.obs.span import FakeClock, Tracer
-from repro.query import ContainsQuery, ProfiledResult, Query
+from repro.query import ProfiledResult, Query
 from repro.workloads.synthetic import make_exact_division
 from repro.workloads.university import figure2_courses, figure2_transcript
 
@@ -200,8 +200,10 @@ class TestQueryPipelineProfiling:
         )
         assert isinstance(result, ProfiledResult)
         assert sorted(result.relation.rows) == [("Ann",), ("Barb",)]
+        # The compiled pipeline profiles the physical streaming
+        # operators, not the logical steps.
         labels = [stats.op_class for stats in result.profile.all_operators()]
-        assert labels[0] == "Distinct" and "Relation" in labels
+        assert labels[0] == "HashDistinct" and "RelationSource" in labels
         assert result.profile.wall_s > 0
 
     def test_query_run_without_profile_returns_relation(self):
@@ -213,9 +215,9 @@ class TestQueryPipelineProfiling:
         assert query.last_profile is None
         result = query.run(profile=True)
         assert isinstance(result, ProfiledResult)
-        # Figure 2 violates referential integrity (Optics), so the
-        # planner's no-join pick admits Barb too; correctness-by-plan
-        # is covered in tests/test_query.py -- here we pin profiling.
+        # Figure 2 violates referential integrity (Optics); the
+        # planner's coverage check keeps no-join counting off the
+        # table, so only Ann qualifies -- here we pin profiling.
         assert ("Ann",) in result.relation.rows
         assert query.last_profile is result.profile
 

@@ -1,0 +1,83 @@
+"""Tests for the logical plan nodes and the reference evaluator."""
+
+import pytest
+
+from repro.plan.logical import (
+    DistinctNode,
+    DivideNode,
+    FilterNode,
+    ProjectNode,
+    SourceNode,
+    evaluate,
+    render_logical,
+)
+from repro.relalg.predicates import ComparisonPredicate
+from repro.relalg.relation import Relation
+
+
+def R(rows):
+    return Relation.of_ints(("q", "d"), rows, name="R")
+
+
+def S(rows):
+    return Relation.of_ints(("d",), rows, name="S")
+
+
+class TestNodes:
+    def test_source_schema_and_describe(self):
+        node = SourceNode(R([(1, 2)]))
+        assert node.schema.names == ("q", "d")
+        assert "R" in node.describe()
+        assert node.children() == ()
+
+    def test_project_schema(self):
+        node = ProjectNode(SourceNode(R([(1, 2)])), ("q",))
+        assert node.schema.names == ("q",)
+
+    def test_divide_schema_is_quotient_attributes(self):
+        node = DivideNode(SourceNode(R([])), SourceNode(S([])))
+        assert node.schema.names == ("q",)
+        assert node.quotient_names == ("q",)
+        assert node.divisor_names == ("d",)
+
+    def test_render_logical_indents_children(self):
+        node = DistinctNode(ProjectNode(SourceNode(R([(1, 2)])), ("q",)))
+        text = render_logical(node)
+        lines = text.splitlines()
+        assert lines[0] == "Distinct"
+        assert lines[1].startswith("  Project")
+        assert lines[2].startswith("    Source")
+
+
+class TestEvaluate:
+    def test_filter_project_distinct_pipeline(self):
+        node = DistinctNode(
+            ProjectNode(
+                FilterNode(
+                    SourceNode(R([(1, 2), (1, 3), (2, 9), (1, 2)])),
+                    ComparisonPredicate("d", "<", 9),
+                ),
+                ("q",),
+            )
+        )
+        assert list(evaluate(node)) == [(1,)]
+
+    def test_distinct_keeps_first_occurrence_order(self):
+        node = DistinctNode(SourceNode(R([(2, 1), (1, 1), (2, 1)])))
+        assert list(evaluate(node)) == [(2, 1), (1, 1)]
+
+    def test_divide_matches_set_semantics(self):
+        from repro.relalg import algebra
+
+        dividend = R([(1, 10), (1, 11), (2, 10)])
+        divisor = S([(10,), (11,)])
+        node = DivideNode(SourceNode(dividend), SourceNode(divisor))
+        expected = algebra.divide_set_semantics(dividend, divisor)
+        assert list(evaluate(node)) == list(expected.rows)
+
+    def test_unknown_node_rejected(self):
+        class Bogus:
+            pass
+
+        with pytest.raises(TypeError):
+            list(evaluate(Bogus()))

@@ -4,7 +4,7 @@ import pytest
 
 from repro.errors import DivisionError, SchemaError
 from repro.relalg import algebra
-from repro.relalg.predicates import AttributeEquals, ComparisonPredicate
+from repro.relalg.predicates import AttributeEquals
 from repro.relalg.relation import Relation
 
 

@@ -4,7 +4,6 @@ import pytest
 
 from repro.errors import SchemaError
 from repro.relalg.relation import Relation
-from repro.relalg.schema import Schema
 
 
 class TestConstruction:

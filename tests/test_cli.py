@@ -97,7 +97,7 @@ class TestVersionAndHelp:
         "command",
         [
             "figure2", "trace", "table1", "table2", "table3", "table4",
-            "profile", "advisor", "parallel",
+            "profile", "advisor", "parallel", "explain",
         ],
     )
     def test_every_subcommand_has_help(self, command, capsys):
@@ -125,6 +125,36 @@ class TestVersionAndHelp:
         )
         assert completed.returncode == 0
         assert completed.stdout.startswith("repro ")
+
+
+class TestExplainCommand:
+    """`repro explain` renders the compiled plan without executing."""
+
+    def test_default_scenario_is_second_example(self, capsys):
+        assert main(["explain"]) == 0
+        out = capsys.readouterr().out
+        assert "relational division via" in out
+        assert "(restricted)" in out  # the 'database' title filter
+        assert "physical plan:" in out
+
+    def test_figure2_scenario(self, capsys):
+        assert main(["explain", "--scenario", "figure2"]) == 0
+        out = capsys.readouterr().out
+        assert "relational division via" in out
+        assert "RelationSource" in out
+
+    def test_synthetic_scenario_sizes(self, capsys):
+        assert main([
+            "explain", "--scenario", "synthetic",
+            "--divisor", "25", "--quotient", "100",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "relational division via" in out
+        assert "~2500 tuples" in out  # dividend = |S| x |Q|
+
+    def test_unknown_scenario_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["explain", "--scenario", "nonsense"])
 
 
 class TestProfileCommand:

@@ -151,8 +151,10 @@ class TestProfiling:
         result = query.run(profile=True, clock=FakeClock(auto_tick=0.001))
         assert isinstance(result, ProfiledResult)
         assert result.relation.rows == query.run().rows
+        # The compiled pipeline is a physical iterator tree, so the
+        # profile names the streaming operators, not the logical steps.
         ops = [stats.op_class for stats in result.profile.all_operators()]
-        assert ops == ["Distinct", "Project", "Relation"]
+        assert ops == ["HashDistinct", "Project", "RelationSource"]
         assert result.profile.wall_s > 0
 
     def test_contains_explain_analyze_tree(self, university):
