@@ -11,6 +11,7 @@ Examples::
     python -m repro advisor --dividend 160000 --divisor 400 --restricted
     python -m repro parallel --processors 8 --strategy divisor
     python -m repro profile --strategy hash-division --divisor 25 --quotient 25
+    python -m repro chaos --seed 42 --queries 30 --schedule-out faults.jsonl
 """
 
 from __future__ import annotations
@@ -298,6 +299,48 @@ def _cmd_advisor(args: argparse.Namespace) -> None:
     )
 
 
+def _cmd_chaos(args: argparse.Namespace) -> None:
+    import json as _json
+
+    from repro.faults.chaos import run_campaign
+
+    report = run_campaign(
+        seed=args.seed,
+        queries=args.queries,
+        divisor_tuples=args.divisor,
+        quotient_tuples=args.quotient,
+        memory_budget=args.memory_budget,
+        max_seconds=args.max_seconds,
+    )
+    if args.schedule_out:
+        with open(args.schedule_out, "w", encoding="utf-8") as handle:
+            handle.write(report.schedule_jsonl())
+        print(
+            f"wrote {report.faults_fired} fault-schedule lines to "
+            f"{args.schedule_out}",
+            file=sys.stderr,
+        )
+    if args.json:
+        print(_json.dumps(report.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(report.summary_line())
+        errors: dict[str, int] = {}
+        for record in report.records:
+            if record.outcome.error_type is not None:
+                errors[record.outcome.error_type] = (
+                    errors.get(record.outcome.error_type, 0) + 1
+                )
+        if errors:
+            breakdown = ", ".join(
+                f"{name} x{count}" for name, count in sorted(errors.items())
+            )
+            print(f"  typed errors: {breakdown}")
+        for violation in report.violations():
+            print(f"  VIOLATION: {violation}")
+    if not report.ok:
+        raise SystemExit(1)
+
+
 def _cmd_parallel(args: argparse.Namespace) -> None:
     from repro.parallel import parallel_hash_division
     from repro.workloads.synthetic import make_exact_division
@@ -520,6 +563,55 @@ def build_parser() -> argparse.ArgumentParser:
     advisor_parser.add_argument("--restricted", action="store_true")
     advisor_parser.add_argument("--duplicates", action="store_true")
     advisor_parser.set_defaults(handler=_cmd_advisor)
+
+    chaos_parser = commands.add_parser(
+        "chaos",
+        help="run a deterministic fault-injection campaign (repro.faults)",
+        description="Replay a seeded chaos campaign: each query runs the "
+        "full planner -> executor path over cold stored relations on "
+        "fault-injected devices, and must either return the oracle-equal "
+        "answer or raise a typed ReproError -- with no fixed buffer "
+        "frames, no live memory-pool bytes, no surviving temp/run pages, "
+        "and exact Table 3 cost-meter conservation afterwards.  The same "
+        "seed replays the same campaign byte-for-byte; exits 1 if any "
+        "invariant is violated.",
+    )
+    chaos_parser.add_argument(
+        "--seed", type=int, default=0, help="campaign seed (default: 0)"
+    )
+    chaos_parser.add_argument(
+        "--queries", type=int, default=30, help="queries to run (default: 30)"
+    )
+    chaos_parser.add_argument(
+        "--divisor", type=int, default=8, help="|S| per query (default: 8)"
+    )
+    chaos_parser.add_argument(
+        "--quotient", type=int, default=32, help="|Q| per query (default: 32)"
+    )
+    chaos_parser.add_argument(
+        "--memory-budget",
+        type=int,
+        default=None,
+        help="fixed memory budget in bytes (default: drawn per run, "
+        "including overflow-inducing choices)",
+    )
+    chaos_parser.add_argument(
+        "--max-seconds",
+        type=float,
+        default=None,
+        help="wall-clock cap: truncate the campaign after this many "
+        "seconds (never changes what any individual run does)",
+    )
+    chaos_parser.add_argument(
+        "--schedule-out",
+        metavar="PATH",
+        help="write the campaign's fault schedule as JSONL "
+        "(byte-identical across replays of the same seed)",
+    )
+    chaos_parser.add_argument(
+        "--json", action="store_true", help="print the full report as JSON"
+    )
+    chaos_parser.set_defaults(handler=_cmd_chaos)
 
     parallel_parser = commands.add_parser(
         "parallel", help="simulate shared-nothing hash-division"

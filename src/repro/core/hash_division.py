@@ -147,6 +147,16 @@ class HashDivision(QueryIterator):
                 )
                 self._free_divisor_table()
                 self._output = self._scan_quotient_table()
+        except MemoryPoolError as exc:
+            # A raw pool failure mid-build (e.g. an injected memory
+            # fault firing outside the hash table's own conversion
+            # sites) degrades exactly like a hash-table overflow, so
+            # the partitioned fallback can take over instead of the
+            # query aborting.
+            self._release_tables()
+            raise HashTableOverflowError(
+                f"memory pool exhausted during hash-division build: {exc}"
+            ) from exc
         except BaseException:
             # Release everything so an overflow driver can retry with
             # partitioning against the same memory pool -- and so any

@@ -44,6 +44,20 @@ from repro.storage.heapfile import HeapFile
 PHASE_COLUMN = "__phase__"
 
 
+def _destroy_files(files: Sequence[HeapFile]) -> None:
+    """Best-effort destruction of partition temp files on a failure path.
+
+    :meth:`~repro.storage.heapfile.HeapFile.destroy` is idempotent, so
+    files already consumed (and destroyed) by a ``TempFileScan`` are
+    skipped harmlessly; files whose phases never ran are reclaimed.
+    Destruction never raises -- cleanup must not mask the original
+    error -- which is why the phase drivers call this from ``except``
+    blocks before re-raising.
+    """
+    for file in files:
+        file.destroy()
+
+
 def _spool_partitions(
     source: QueryIterator,
     key_names: Sequence[str],
@@ -61,13 +75,19 @@ def _spool_partitions(
     key_of = projector(schema, key_names)
     files = [ctx.temp_file("temp") for _ in range(partitions)]
     cpu = ctx.cpu
-    source.open()
     try:
-        for row in source:
-            cpu.hashes += 1
-            files[hash(key_of(row)) % partitions].append(codec.encode(row))
-    finally:
-        source.close()
+        source.open()
+        try:
+            for row in source:
+                cpu.hashes += 1
+                files[hash(key_of(row)) % partitions].append(codec.encode(row))
+        finally:
+            source.close()
+    except BaseException:
+        # A failed spool (e.g. a temp-device fault mid-write) must not
+        # leak the partition files it already allocated.
+        _destroy_files(files)
+        raise
     return files, schema
 
 
@@ -120,13 +140,20 @@ def quotient_partitioned_division(
         phase_inputs = [
             TempFileScan(ctx, file, schema, destroy_on_close=True) for file in files
         ]
-    for phase_input in phase_inputs:
-        phase_op = HashDivision(
-            phase_input,
-            RelationSource(ctx, divisor_relation),
-            expected_divisor=len(divisor_relation),
-        )
-        result.extend(run_to_relation(phase_op))
+    try:
+        for phase_input in phase_inputs:
+            phase_op = HashDivision(
+                phase_input,
+                RelationSource(ctx, divisor_relation),
+                expected_divisor=len(divisor_relation),
+            )
+            result.extend(run_to_relation(phase_op))
+    except BaseException:
+        # A failed phase (overflow, injected disk fault, ...) closes
+        # *its own* TempFileScan -- destroying that file -- but the
+        # clusters queued behind it would otherwise leak temp pages.
+        _destroy_files(files)
+        raise
     return result
 
 
@@ -147,17 +174,21 @@ def _spool_partitions_hybrid(
     resident: list[tuple] = []
     files = [ctx.temp_file("temp") for _ in range(max(0, partitions - 1))]
     cpu = ctx.cpu
-    source.open()
     try:
-        for row in source:
-            cpu.hashes += 1
-            cluster = hash(key_of(row)) % partitions
-            if cluster == 0:
-                resident.append(row)
-            else:
-                files[cluster - 1].append(codec.encode(row))
-    finally:
-        source.close()
+        source.open()
+        try:
+            for row in source:
+                cpu.hashes += 1
+                cluster = hash(key_of(row)) % partitions
+                if cluster == 0:
+                    resident.append(row)
+                else:
+                    files[cluster - 1].append(codec.encode(row))
+        finally:
+            source.close()
+    except BaseException:
+        _destroy_files(files)
+        raise
     return resident, files, schema
 
 
@@ -206,23 +237,30 @@ def divisor_partitioned_division(
     tagged_schema = Schema(tuple(quotient_schema) + (Attribute(PHASE_COLUMN),))
     tagged = Relation(tagged_schema, name="tagged-quotients")
     phase_count = 0
-    for cluster_index in range(partitions):
-        cluster_file = files[cluster_index]
-        cluster_divisor = divisor_clusters[cluster_index]
-        if not cluster_divisor:
-            cluster_file.destroy()
-            continue
-        phase_op = HashDivision(
-            TempFileScan(ctx, cluster_file, schema, destroy_on_close=True),
-            RelationSource(
-                ctx, Relation(divisor.schema, cluster_divisor, name="divisor-cluster")
-            ),
-            expected_divisor=len(cluster_divisor),
-        )
-        phase_quotient = run_to_relation(phase_op)
-        for row in phase_quotient:
-            tagged.append(row + (phase_count,))
-        phase_count += 1
+    try:
+        for cluster_index in range(partitions):
+            cluster_file = files[cluster_index]
+            cluster_divisor = divisor_clusters[cluster_index]
+            if not cluster_divisor:
+                cluster_file.destroy()
+                continue
+            phase_op = HashDivision(
+                TempFileScan(ctx, cluster_file, schema, destroy_on_close=True),
+                RelationSource(
+                    ctx,
+                    Relation(divisor.schema, cluster_divisor, name="divisor-cluster"),
+                ),
+                expected_divisor=len(cluster_divisor),
+            )
+            phase_quotient = run_to_relation(phase_op)
+            for row in phase_quotient:
+                tagged.append(row + (phase_count,))
+            phase_count += 1
+    except BaseException:
+        # Reclaim the clusters whose phases never ran (destroy is
+        # idempotent for the ones already consumed).
+        _destroy_files(files)
+        raise
 
     # Collection phase: divide the tagged union by the phase numbers.
     phases = Relation.of_ints((PHASE_COLUMN,), [(i,) for i in range(phase_count)])
@@ -270,13 +308,17 @@ def combined_partitioned_division(
         dividend, quotient_names, quotient_partitions, ctx
     )
     result = Relation(dividend.schema.project(quotient_names), name=name)
-    for file in files:
-        cluster_quotient = divisor_partitioned_division(
-            TempFileScan(ctx, file, schema, destroy_on_close=True),
-            RelationSource(ctx, divisor_relation),
-            divisor_partitions,
-        )
-        result.extend(cluster_quotient)
+    try:
+        for file in files:
+            cluster_quotient = divisor_partitioned_division(
+                TempFileScan(ctx, file, schema, destroy_on_close=True),
+                RelationSource(ctx, divisor_relation),
+                divisor_partitions,
+            )
+            result.extend(cluster_quotient)
+    except BaseException:
+        _destroy_files(files)
+        raise
     return result
 
 

@@ -40,6 +40,32 @@ class DiskError(StorageError):
     was used after being closed."""
 
 
+class DiskFaultError(DiskError):
+    """An injected (or, in principle, real) device failure.
+
+    Args:
+        message: Human-readable description.
+        transient: ``True`` when a retry may succeed (the
+            :mod:`repro.faults` retry wrapper re-issues the transfer
+            with capped exponential backoff); ``False`` for permanent
+            faults, which propagate immediately.
+    """
+
+    def __init__(self, message: str, transient: bool = True) -> None:
+        super().__init__(message)
+        self.transient = transient
+
+
+class ChecksumError(StorageError):
+    """A page image failed its CRC32 verification on read.
+
+    Raised by :class:`repro.storage.diskbase.PagedDiskBase` when the
+    bytes coming back from the device do not match the checksum
+    recorded when the page was last written -- the defense that turns
+    silent corruption (bit flips, torn writes) into a typed error.
+    """
+
+
 class BufferPoolError(StorageError):
     """The buffer pool cannot satisfy a request.
 
@@ -84,6 +110,19 @@ class HashTableOverflowError(ExecutionError):
 
 class PartitioningError(ReproError):
     """A partitioned or parallel execution was configured incorrectly."""
+
+
+class NetworkFaultError(PartitioningError):
+    """The interconnect gave up on a batch.
+
+    Raised when a send exhausted its retransmission budget against
+    injected drop faults -- the typed surface of a partitioned network,
+    as opposed to silently losing tuples.
+    """
+
+
+class FaultConfigError(ReproError):
+    """A fault-injection rule or injector was configured incorrectly."""
 
 
 class WorkloadError(ReproError):

@@ -26,6 +26,7 @@ import itertools
 from typing import Iterator, Optional, Sequence
 
 from repro.errors import ExecutionError
+from repro.faults.retry import BackoffClock
 from repro.metering import CpuCounters
 from repro.obs.span import NULL_TRACER
 from repro.relalg.relation import Relation
@@ -55,6 +56,15 @@ class ExecContext:
             (:data:`repro.storage.stats.NULL_IO_TRACE`).  When both a
             recording tracer and an event log are supplied, each event
             is stamped with the innermost executing operator.
+        fault_injector: Optional
+            :class:`repro.faults.injector.FaultInjector`; when given it
+            is threaded through all three devices and the memory pool
+            (see :meth:`attach_fault_injector`).  ``None`` (the
+            default) leaves every fault hook on its zero-cost path.
+        retry_policy: Optional
+            :class:`repro.faults.retry.RetryPolicy` governing how the
+            devices retry transient faults; defaults to
+            :data:`repro.faults.retry.DEFAULT_RETRY_POLICY`.
 
     The context owns three devices:
 
@@ -71,6 +81,8 @@ class ExecContext:
         storage_dir: str | None = None,
         tracer=None,
         io_trace=None,
+        fault_injector=None,
+        retry_policy=None,
     ) -> None:
         self.config = config or StorageConfig()
         #: Observability hook (repro.obs): the shared no-op NULL_TRACER
@@ -122,6 +134,39 @@ class ExecContext:
             make_disk("runs", self.config.sort_run_page_size)
         )
         self._temp_names = itertools.count()
+        #: Fault-injection wiring (repro.faults): None by default, so
+        #: every hook is a single ``is None`` test.  One BackoffClock
+        #: is shared by all devices so retry waits aggregate per run.
+        self.fault_injector = None
+        self.backoff_clock = BackoffClock()
+        if retry_policy is not None:
+            for disk in (self.data_disk, self.temp_disk, self.run_disk):
+                disk.retry_policy = retry_policy
+        for disk in (self.data_disk, self.temp_disk, self.run_disk):
+            disk.backoff_clock = self.backoff_clock
+        if fault_injector is not None:
+            self.attach_fault_injector(fault_injector)
+
+    def attach_fault_injector(self, injector) -> None:
+        """Thread one :class:`~repro.faults.injector.FaultInjector`
+        through the context's devices and memory pool.
+
+        Pass ``None`` to detach and restore the zero-cost paths.  The
+        devices keep their retry policies and the shared
+        :attr:`backoff_clock`.
+        """
+        self.fault_injector = injector
+        for disk in (self.data_disk, self.temp_disk, self.run_disk):
+            disk.injector = injector
+        self.memory.injector = injector
+
+    @property
+    def fault_stats(self) -> dict:
+        """Per-device fault / defense counters, keyed by device name."""
+        return {
+            disk.name: disk.fault_stats
+            for disk in (self.data_disk, self.temp_disk, self.run_disk)
+        }
 
     def close(self) -> None:
         """Release the context's devices (closes backing files)."""

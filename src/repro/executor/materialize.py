@@ -35,14 +35,23 @@ class Materialize(QueryIterator):
 
     def _open(self) -> None:
         self._file = self.ctx.temp_file("temp")
-        self.input_op.open()
         try:
-            encode = self._codec.encode
-            self._file.append_many(encode(row) for row in self.input_op)
-        finally:
-            self.input_op.close()
-        decode = self._codec.decode
-        self._rows = (decode(record) for _rid, record in self._file.scan())
+            self.input_op.open()
+            try:
+                encode = self._codec.encode
+                self._file.append_many(encode(row) for row in self.input_op)
+            finally:
+                self.input_op.close()
+            decode = self._codec.decode
+            self._rows = (decode(record) for _rid, record in self._file.scan())
+        except BaseException:
+            # A failed _open leaves the operator CLOSED, so _close will
+            # never run -- the spool file must be reclaimed here or it
+            # leaks temp pages (found by the chaos suite under injected
+            # temp-device write faults).
+            self._file.destroy()
+            self._file = None
+            raise
 
     def _next(self) -> Optional[Row]:
         assert self._rows is not None

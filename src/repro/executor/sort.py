@@ -231,9 +231,12 @@ class ExternalSort(QueryIterator):
 
     def _write_run(self, rows: list[Row]) -> None:
         run = self.ctx.temp_file("runs")
+        # Register the run *before* writing it: if the append faults,
+        # _open's failure handler finds (and destroys) the partial run
+        # instead of leaking its pages.
+        self._runs.append(run)
         encode = self._codec.encode
         run.append_many(encode(row) for row in rows)
-        self._runs.append(run)
         self.runs_spilled += 1
         self.run_lengths.append(len(rows))
         tracer = self.ctx.tracer
@@ -278,16 +281,28 @@ class ExternalSort(QueryIterator):
     def _merge_pass(self, runs: list[HeapFile], fan_in: int) -> list[HeapFile]:
         """Merge groups of ``fan_in`` runs into longer runs."""
         next_runs: list[HeapFile] = []
-        for start in range(0, len(runs), fan_in):
-            group = runs[start : start + fan_in]
-            if len(group) == 1:
-                next_runs.append(group[0])
-                continue
-            merged = self._merge_streams([self._run_rows(run) for run in group])
-            out = self.ctx.temp_file("runs")
-            encode = self._codec.encode
-            out.append_many(encode(row) for row in merged)
-            for run in group:
+        try:
+            for start in range(0, len(runs), fan_in):
+                group = runs[start : start + fan_in]
+                if len(group) == 1:
+                    next_runs.append(group[0])
+                    continue
+                merged = self._merge_streams([self._run_rows(run) for run in group])
+                out = self.ctx.temp_file("runs")
+                # Register before writing: a faulted append must leave the
+                # partial output run reachable for cleanup below.
+                next_runs.append(out)
+                encode = self._codec.encode
+                out.append_many(encode(row) for row in merged)
+                for run in group:
+                    run.destroy()
+        except BaseException:
+            # The caller only replaces self._runs on success, so output
+            # runs created here are invisible to _open's failure handler
+            # and must be reclaimed now.  destroy() is idempotent, so
+            # pass-through runs shared with self._runs are safe to hit
+            # twice.
+            for run in next_runs:
                 run.destroy()
-            next_runs.append(out)
+            raise
         return next_runs

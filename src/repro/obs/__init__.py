@@ -61,7 +61,9 @@ from repro.obs.metrics import (
     absorb_buffer_stats,
     absorb_context,
     absorb_cpu_counters,
+    absorb_fault_stats,
     absorb_io_statistics,
+    absorb_network_fault_stats,
     observe_buffer_pool,
     unobserve_buffer_pool,
 )
@@ -105,8 +107,10 @@ __all__ = [
     "absorb_buffer_stats",
     "absorb_context",
     "absorb_cpu_counters",
+    "absorb_fault_stats",
     "absorb_io_event_log",
     "absorb_io_statistics",
+    "absorb_network_fault_stats",
     "attribution_by_operator",
     "bench_payload",
     "build_profile",

@@ -27,12 +27,17 @@ from repro.obs.profile import QueryProfile
 #: Version stamp of the BENCH payload layout; bump on breaking change.
 #: v2 added the ``provenance`` block (git commit, storage parameters,
 #: Table 3 I/O weights) so a stored trajectory point records *which*
-#: code and which physical configuration produced it.
-BENCH_SCHEMA_VERSION = 2
+#: code and which physical configuration produced it.  v3 adds a
+#: ``fault_injection`` entry inside provenance (``{"enabled": False}``
+#: for ordinary benchmarks; the injector's summary -- seed, rules, fire
+#: counts -- when a run was measured under faults), so a trajectory
+#: point can never silently mix faulty and fault-free measurements.
+BENCH_SCHEMA_VERSION = 3
 
 #: Schema versions :func:`load_bench_json` accepts; old v1 artifacts
-#: (no provenance block) remain loadable and comparable.
-ACCEPTED_BENCH_SCHEMA_VERSIONS = (1, 2)
+#: (no provenance block) and v2 artifacts (no fault_injection entry)
+#: remain loadable and comparable.
+ACCEPTED_BENCH_SCHEMA_VERSIONS = (1, 2, 3)
 
 #: File-name prefix of benchmark export artifacts.
 BENCH_PREFIX = "BENCH_"
@@ -132,17 +137,23 @@ def _git_commit() -> str | None:
     return commit if out.returncode == 0 and commit else None
 
 
-def provenance_info(config=None) -> dict:
-    """The BENCH v2 provenance block: code + physical configuration.
+def provenance_info(config=None, fault_injection: dict | None = None) -> dict:
+    """The BENCH provenance block: code + physical configuration.
 
     Records the git commit (best-effort), the storage parameters that
     shape every measured number (page sizes, buffer budget, sort
     buffer), and the Table 3 I/O weights -- everything needed to judge
-    whether two trajectory points are comparable.
+    whether two trajectory points are comparable.  Since schema v3 the
+    block also carries a ``fault_injection`` entry: ``{"enabled":
+    False}`` for ordinary benchmarks, or the injector's
+    :meth:`~repro.faults.injector.FaultInjector.summary` (seed, rules,
+    fire counts) for runs measured under injected faults.
 
     Args:
         config: A :class:`~repro.storage.config.StorageConfig`;
             defaults to the paper's Section 5.1 parameters.
+        fault_injection: Override for the fault-injection entry, e.g.
+            ``injector.summary()``; defaults to disabled.
     """
     from dataclasses import asdict
 
@@ -157,6 +168,9 @@ def provenance_info(config=None) -> dict:
         "memory_limit": config.memory_limit,
         "sort_buffer_size": config.sort_buffer_size,
         "io_weights": asdict(config.io_weights),
+        "fault_injection": (
+            {"enabled": False} if fault_injection is None else dict(fault_injection)
+        ),
     }
 
 
@@ -168,7 +182,7 @@ def bench_payload(
     created_unix: float | None = None,
     provenance: dict | None = None,
 ) -> dict:
-    """Build (and validate) one benchmark export payload (schema v2).
+    """Build (and validate) one benchmark export payload (schema v3).
 
     Args:
         name: Benchmark identifier (letters, digits, ``._-``).
@@ -223,7 +237,16 @@ def validate_bench_payload(payload: object) -> dict:
     if version >= 2:
         provenance = payload.get("provenance")
         if not isinstance(provenance, dict):
-            raise ValueError("BENCH v2 payloads must carry a provenance object")
+            raise ValueError(
+                f"BENCH v{version} payloads must carry a provenance object"
+            )
+        # v3's fault_injection entry is optional (custom provenance
+        # overrides predate it) but, when present, must be an object.
+        fault_injection = provenance.get("fault_injection")
+        if fault_injection is not None and not isinstance(fault_injection, dict):
+            raise ValueError(
+                "BENCH provenance fault_injection, when present, must be an object"
+            )
     elif "provenance" in payload and not isinstance(payload["provenance"], dict):
         raise ValueError("BENCH provenance, when present, must be an object")
     name = payload.get("name")

@@ -325,8 +325,74 @@ def absorb_io_statistics(registry: MetricsRegistry, io_stats, **labels) -> None:
         )
 
 
+def absorb_fault_stats(registry: MetricsRegistry, ctx, **labels) -> None:
+    """Fold a context's fault-injection and defense meters into metrics.
+
+    One ``device``-labelled sample per device for the injected faults
+    (``repro_disk_faults_injected_total`` and its per-kind breakdown)
+    and the defenses that answered them: ``repro_disk_retries_total``,
+    ``repro_checksum_failures_total``, ``repro_disk_backoff_ms_total``,
+    and ``repro_disk_fault_latency_ms_total``.  When an injector is
+    attached, its per-kind fire counts are emitted as
+    ``repro_fault_fires_total{kind=...}``.  All-zero when injection is
+    disabled -- the families still exist, so dashboards need no special
+    case for fault-free runs.
+    """
+    for device, stats in sorted(ctx.fault_stats.items()):
+        device_labels = dict(labels, device=device)
+        registry.counter("repro_disk_faults_injected_total", **device_labels).inc(
+            stats.faults_injected
+        )
+        registry.counter("repro_disk_transient_faults_total", **device_labels).inc(
+            stats.transient_faults
+        )
+        registry.counter("repro_disk_permanent_faults_total", **device_labels).inc(
+            stats.permanent_faults
+        )
+        registry.counter("repro_disk_corruptions_total", **device_labels).inc(
+            stats.corruptions
+        )
+        registry.counter("repro_disk_torn_writes_total", **device_labels).inc(
+            stats.torn_writes
+        )
+        registry.counter("repro_checksum_failures_total", **device_labels).inc(
+            stats.checksum_failures
+        )
+        registry.counter("repro_disk_retries_total", **device_labels).inc(stats.retries)
+        registry.counter("repro_disk_backoff_ms_total", **device_labels).inc(
+            stats.backoff_ms
+        )
+        registry.counter("repro_disk_fault_latency_ms_total", **device_labels).inc(
+            stats.latency_ms
+        )
+    injector = getattr(ctx, "fault_injector", None)
+    if injector is not None:
+        for kind, count in sorted(injector.counters.by_kind.items()):
+            registry.counter("repro_fault_fires_total", kind=kind, **labels).inc(count)
+
+
+def absorb_network_fault_stats(registry: MetricsRegistry, network, **labels) -> None:
+    """Fold an :class:`~repro.parallel.network.Interconnect`'s fault
+    counters in: ``repro_network_drops_total``,
+    ``repro_network_retransmits_total``,
+    ``repro_network_duplicates_total``.
+    """
+    counters = network.fault_counters
+    registry.counter("repro_network_drops_total", **labels).inc(counters.drops)
+    registry.counter("repro_network_retransmits_total", **labels).inc(
+        counters.retransmits
+    )
+    registry.counter("repro_network_duplicates_total", **labels).inc(
+        counters.duplicates
+    )
+
+
 def absorb_context(registry: MetricsRegistry, ctx, **labels) -> None:
-    """Absorb every meter of an :class:`~repro.executor.iterator.ExecContext`."""
+    """Absorb every meter of an :class:`~repro.executor.iterator.ExecContext`.
+
+    Includes the fault/defense meters (all-zero for fault-free runs).
+    """
     absorb_cpu_counters(registry, ctx.cpu, **labels)
     absorb_buffer_stats(registry, ctx.pool.stats, **labels)
     absorb_io_statistics(registry, ctx.io_stats, **labels)
+    absorb_fault_stats(registry, ctx, **labels)

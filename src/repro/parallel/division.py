@@ -94,6 +94,7 @@ def parallel_hash_division(
     units: CostUnits = PAPER_UNITS,
     name: str = "quotient",
     collection: str = "central",
+    injector=None,
 ) -> ParallelDivisionResult:
     """Divide on a simulated shared-nothing machine.
 
@@ -114,6 +115,11 @@ def parallel_hash_division(
             attributes so every node runs a share of the collection
             division -- the paper's answer "in the unlikely case that
             the central collection site becomes a bottleneck" (§6).
+        injector: Optional :class:`repro.faults.injector.FaultInjector`
+            attached to the interconnect: batches may be dropped
+            (retransmitted by the sender) or duplicated (delivered
+            twice; the receivers are idempotent, so the quotient is
+            unchanged).
     """
     if strategy not in ("quotient", "divisor"):
         raise PartitioningError(f"unknown parallel strategy {strategy!r}")
@@ -123,7 +129,7 @@ def parallel_hash_division(
         raise PartitioningError(f"processors must be positive, got {processors}")
     quotient_names, divisor_names = division_attribute_split(dividend, divisor)
     cluster = Cluster.build(processors, memory_budget_per_node=memory_budget_per_node)
-    network = Interconnect(network_weights)
+    network = Interconnect(network_weights, injector=injector)
     dividend_fragments = round_robin(dividend.rows, processors)
     divisor_fragments = round_robin(divisor.rows, processors)
     runner = _QuotientStrategy if strategy == "quotient" else _DivisorStrategy
@@ -198,12 +204,20 @@ class _StrategyBase:
         filter_cpu_nodes: list[ExecContext],
     ) -> list[list[tuple]]:
         """Repartition dividend fragments, applying the filter at the
-        sender; returns per-destination clusters."""
+        sender; returns per-destination clusters.
+
+        Remote rows travel as per-destination batches through
+        :meth:`~repro.parallel.network.Interconnect.send`; a duplicated
+        batch lands in its destination cluster twice (the local
+        hash-division is idempotent under dividend duplicates -- same
+        bit, set twice), a dropped batch is retransmitted by the
+        interconnect before this method sees it.
+        """
         tuple_bytes = self.dividend.schema.record_size
         clusters: list[list[tuple]] = [[] for _ in range(self.processors)]
         for origin, fragment in enumerate(self.dividend_fragments):
             sender_cpu = filter_cpu_nodes[origin]
-            outbound: dict[int, int] = {}
+            batches: dict[int, list[tuple]] = {}
             for row in fragment:
                 sender_cpu.cpu.hashes += 1  # partitioning hash
                 if bit_vector is not None:
@@ -213,12 +227,15 @@ class _StrategyBase:
                         self.filtered += 1
                         continue
                 destination = destination_of(row)
-                clusters[destination].append(row)
-                if destination != origin:
-                    outbound[destination] = outbound.get(destination, 0) + 1
-            for destination, count in outbound.items():
-                self.network.send(origin, destination, count, tuple_bytes)
-                self.shipped += count
+                if destination == origin:
+                    clusters[origin].append(row)
+                else:
+                    batches.setdefault(destination, []).append(row)
+            for destination, batch in batches.items():
+                copies = self.network.send(origin, destination, len(batch), tuple_bytes)
+                self.shipped += len(batch)
+                for _ in range(copies):
+                    clusters[destination].extend(batch)
         return clusters
 
     def finish(self, quotient: Relation, coordinator_ms: float) -> ParallelDivisionResult:
@@ -245,10 +262,28 @@ class _QuotientStrategy(_StrategyBase):
     def run(self) -> ParallelDivisionResult:
         divisor_bytes = self.divisor.schema.record_size
         # Replicate the divisor: every fragment goes to every other node.
+        # A duplicated batch appends its fragment a second time at that
+        # node; the divisor table eliminates duplicates while building
+        # (Section 3.3), so replication stays exactly-once in effect.
+        extra_rows: list[list[tuple]] = [[] for _ in range(self.processors)]
         for origin, fragment in enumerate(self.divisor_fragments):
             for destination in range(self.processors):
-                self.network.send(origin, destination, len(fragment), divisor_bytes)
+                copies = self.network.send(
+                    origin, destination, len(fragment), divisor_bytes
+                )
+                if copies > 1 and fragment:
+                    extra_rows[destination].extend(fragment * (copies - 1))
         full_divisor = Relation(self.divisor.schema, self.divisor.rows, name="divisor")
+        node_divisors = [
+            full_divisor
+            if not extra
+            else Relation(
+                self.divisor.schema,
+                list(self.divisor.rows) + extra,
+                name="divisor",
+            )
+            for extra in extra_rows
+        ]
         # Senders own a bit vector built from the (replicated) divisor.
         nodes = list(self.cluster)
         bit_vector = self.make_filter(
@@ -265,10 +300,10 @@ class _QuotientStrategy(_StrategyBase):
             destination_of, bit_vector, [node.ctx for node in nodes]
         )
         quotient = Relation(self.dividend.schema.project(self.quotient_names), name=self.name)
-        for node, cluster_rows in zip(nodes, clusters):
+        for node, cluster_rows, node_divisor in zip(nodes, clusters, node_divisors):
             local = HashDivision(
                 RelationSource(node.ctx, Relation(self.dividend.schema, cluster_rows)),
-                RelationSource(node.ctx, full_divisor),
+                RelationSource(node.ctx, node_divisor),
                 expected_divisor=len(full_divisor),
             )
             quotient.extend(run_to_relation(local))
@@ -284,18 +319,22 @@ class _DivisorStrategy(_StrategyBase):
     def run(self) -> ParallelDivisionResult:
         nodes = list(self.cluster)
         divisor_bytes = self.divisor.schema.record_size
-        # Repartition the divisor on its own attributes.
+        # Repartition the divisor on its own attributes.  Duplicated
+        # batches append twice; the divisor table deduplicates.
         divisor_clusters: list[list[tuple]] = [[] for _ in range(self.processors)]
         for origin, fragment in enumerate(self.divisor_fragments):
-            outbound: dict[int, int] = {}
+            batches: dict[int, list[tuple]] = {}
             for row in fragment:
                 nodes[origin].ctx.cpu.hashes += 1
                 destination = hash(tuple(row)) % self.processors
-                divisor_clusters[destination].append(row)
-                if destination != origin:
-                    outbound[destination] = outbound.get(destination, 0) + 1
-            for destination, count in outbound.items():
-                self.network.send(origin, destination, count, divisor_bytes)
+                if destination == origin:
+                    divisor_clusters[origin].append(row)
+                else:
+                    batches.setdefault(destination, []).append(row)
+            for destination, batch in batches.items():
+                copies = self.network.send(origin, destination, len(batch), divisor_bytes)
+                for _ in range(copies):
+                    divisor_clusters[destination].extend(batch)
         if not any(divisor_clusters):
             # Vacuous division: run locally on node 0.
             ctx = nodes[0].ctx
@@ -363,10 +402,11 @@ class _DivisorStrategy(_StrategyBase):
         collection_site = 0
         tagged_rows: list[tuple] = []
         for origin, tagged in enumerate(tagged_per_node):
-            tagged_rows.extend(tagged)
-            self.network.send(
+            copies = self.network.send(
                 origin, collection_site, len(tagged), tagged_schema.record_size
             )
+            for _ in range(copies):
+                tagged_rows.extend(tagged)
         coordinator_ctx = ExecContext()
         collection = HashDivision(
             RelationSource(coordinator_ctx, Relation(tagged_schema, tagged_rows)),
@@ -384,17 +424,20 @@ class _DivisorStrategy(_StrategyBase):
         tagged_quotient_of = projector(tagged_schema, self.quotient_names)
         shares: list[list[tuple]] = [[] for _ in range(self.processors)]
         for origin, tagged in enumerate(tagged_per_node):
-            outbound: dict[int, int] = {}
+            batches: dict[int, list[tuple]] = {}
             for row in tagged:
                 nodes[origin].ctx.cpu.hashes += 1
                 destination = hash(tagged_quotient_of(row)) % self.processors
-                shares[destination].append(row)
-                if destination != origin:
-                    outbound[destination] = outbound.get(destination, 0) + 1
-            for destination, count in outbound.items():
-                self.network.send(
-                    origin, destination, count, tagged_schema.record_size
+                if destination == origin:
+                    shares[origin].append(row)
+                else:
+                    batches.setdefault(destination, []).append(row)
+            for destination, batch in batches.items():
+                copies = self.network.send(
+                    origin, destination, len(batch), tagged_schema.record_size
                 )
+                for _ in range(copies):
+                    shares[destination].extend(batch)
         quotient = Relation(
             self.dividend.schema.project(self.quotient_names), name=self.name
         )

@@ -8,11 +8,27 @@ Default weights make shipping a page across the interconnect cost
 about half as much as reading it from disk -- the regime GAMMA
 operated in, where repartitioning a large relation twice (the
 with-join case) visibly "increas[es] the cost significantly".
+
+Faults
+------
+
+An optional :class:`repro.faults.injector.FaultInjector` extends the
+model with lossy links: a batch send may be **dropped** (the sender
+retransmits, paying wire cost for every attempt, up to
+:attr:`Interconnect.max_attempts` before a typed
+:class:`~repro.errors.NetworkFaultError`) or **duplicated** (delivered
+-- and charged -- twice).  :meth:`Interconnect.send` returns the number
+of copies delivered so callers can model at-least-once delivery; the
+parallel division strategies stay *exactly-once at the result level*
+because their receivers are idempotent (bit maps set the same bit
+twice, divisor tables discard duplicate rows).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+
+from repro.errors import NetworkFaultError
 
 
 @dataclass(frozen=True)
@@ -32,6 +48,22 @@ class LinkCounters:
     bytes: int = 0
 
 
+@dataclass
+class NetworkFaultCounters:
+    """Injected-fault and defense counters for one interconnect."""
+
+    drops: int = 0
+    retransmits: int = 0
+    duplicates: int = 0
+
+    def to_dict(self) -> dict:
+        return {
+            "drops": self.drops,
+            "retransmits": self.retransmits,
+            "duplicates": self.duplicates,
+        }
+
+
 class Interconnect:
     """Traffic accounting between numbered processors.
 
@@ -41,18 +73,69 @@ class Interconnect:
     which is how the collection-site bottleneck of Section 6 shows up.
     """
 
-    def __init__(self, weights: NetworkWeights | None = None) -> None:
+    def __init__(
+        self,
+        weights: NetworkWeights | None = None,
+        injector=None,
+        max_attempts: int = 4,
+    ) -> None:
+        if max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
         self.weights = weights or NetworkWeights()
+        self.injector = injector
+        self.max_attempts = max_attempts
+        self.fault_counters = NetworkFaultCounters()
         self._links: dict[tuple[int, int], LinkCounters] = {}
 
-    def send(self, sender: int, receiver: int, tuples: int, tuple_bytes: int) -> None:
+    def send(self, sender: int, receiver: int, tuples: int, tuple_bytes: int) -> int:
         """Record ``tuples`` records of ``tuple_bytes`` each on a link.
 
         Local delivery (sender == receiver) is free: shared-nothing
         repartitioning only pays for tuples that change machines.
+
+        Returns the number of *copies delivered* to the receiver: ``1``
+        normally, ``2`` when the injector duplicates the batch.  A
+        dropped batch is retransmitted (each attempt pays full wire
+        cost) up to :attr:`max_attempts` times before
+        :class:`~repro.errors.NetworkFaultError` is raised.
+
+        Raises:
+            ValueError: if ``tuples`` or ``tuple_bytes`` is negative.
+            NetworkFaultError: when the retransmission budget is
+                exhausted against injected drops.
         """
-        if sender == receiver or tuples <= 0:
-            return
+        if tuples < 0:
+            raise ValueError(f"tuples must be >= 0, got {tuples}")
+        if tuple_bytes < 0:
+            raise ValueError(f"tuple_bytes must be >= 0, got {tuple_bytes}")
+        if sender == receiver or tuples == 0:
+            return 1
+        if self.injector is None:
+            self._charge(sender, receiver, tuples, tuple_bytes)
+            return 1
+        attempts = 0
+        while True:
+            attempts += 1
+            verdict = self.injector.on_network_send(sender, receiver)
+            # The bytes hit the wire whether or not the batch arrives.
+            self._charge(sender, receiver, tuples, tuple_bytes)
+            if verdict is None:
+                return 1
+            if verdict == "duplicate":
+                self.fault_counters.duplicates += 1
+                self._charge(sender, receiver, tuples, tuple_bytes)
+                return 2
+            # verdict == "drop"
+            self.fault_counters.drops += 1
+            if attempts >= self.max_attempts:
+                raise NetworkFaultError(
+                    f"batch from node {sender} to node {receiver} dropped "
+                    f"{attempts} times; retransmission budget "
+                    f"({self.max_attempts} attempts) exhausted"
+                )
+            self.fault_counters.retransmits += 1
+
+    def _charge(self, sender: int, receiver: int, tuples: int, tuple_bytes: int) -> None:
         link = self._links.setdefault((sender, receiver), LinkCounters())
         link.tuples += tuples
         link.bytes += tuples * tuple_bytes

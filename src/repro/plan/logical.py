@@ -26,11 +26,16 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterator
 
+from typing import TYPE_CHECKING
+
 from repro.relalg.algebra import divide_set_semantics, division_attribute_split
 from repro.relalg.predicates import Predicate
 from repro.relalg.relation import Relation
 from repro.relalg.schema import Schema
 from repro.relalg.tuples import Row, projector
+
+if TYPE_CHECKING:  # pragma: no cover - typing only (keeps logical storage-free)
+    from repro.storage.catalog import StoredRelation
 
 
 class LogicalNode:
@@ -60,6 +65,32 @@ class SourceNode(LogicalNode):
     def describe(self) -> str:
         label = self.relation.name or "relation"
         return f"Source({label}, {len(self.relation)} tuples)"
+
+
+@dataclass(frozen=True, eq=False)
+class StoredSourceNode(LogicalNode):
+    """A base input residing in a heap file (catalog-stored relation).
+
+    Unlike :class:`SourceNode`, evaluating this node is *not* free: the
+    rows live on a device, so both the planner's statistics pass and
+    the compiled :class:`~repro.executor.scan.StoredRelationScan` read
+    pages through the buffer pool, paying real (metered) I/O -- and,
+    on a fault-injected device, facing real faults.  This is the node
+    the chaos suite plans over, so the full planner -> executor path
+    crosses the storage stack.
+    """
+
+    stored: "StoredRelation"
+
+    @property
+    def schema(self) -> Schema:
+        return self.stored.schema
+
+    def describe(self) -> str:
+        return (
+            f"StoredSource({self.stored.name}, {self.stored.record_count} tuples, "
+            f"{self.stored.page_count} pages)"
+        )
 
 
 @dataclass(frozen=True)
@@ -166,6 +197,12 @@ def evaluate(node: LogicalNode) -> Iterator[Row]:
     """
     if isinstance(node, SourceNode):
         yield from node.relation
+        return
+    if isinstance(node, StoredSourceNode):
+        # The one node whose evaluation is *not* free: rows come off
+        # the device through the buffer pool (metered, fault-exposed).
+        for _rid, row in node.stored.scan_rows():
+            yield row
         return
     if isinstance(node, FilterNode):
         test = node.predicate.compile(node.schema)

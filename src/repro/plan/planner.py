@@ -22,7 +22,7 @@ from repro.executor.distinct import HashDistinct
 from repro.executor.filter import Select
 from repro.executor.iterator import ExecContext, QueryIterator
 from repro.executor.project import Project
-from repro.executor.scan import RelationSource
+from repro.executor.scan import RelationSource, StoredRelationScan
 from repro.plan.logical import (
     DistinctNode,
     DivideNode,
@@ -30,6 +30,7 @@ from repro.plan.logical import (
     LogicalNode,
     ProjectNode,
     SourceNode,
+    StoredSourceNode,
     evaluate,
 )
 from repro.plan.physical import PhysicalPlan, build_division_operator
@@ -157,6 +158,8 @@ class Planner:
         """Lower one logical node (and its subtree) to physical form."""
         if isinstance(node, SourceNode):
             return RelationSource(self.ctx, node.relation)
+        if isinstance(node, StoredSourceNode):
+            return StoredRelationScan(self.ctx, node.stored)
         if isinstance(node, FilterNode):
             return Select(self.compile(node.child), node.predicate)
         if isinstance(node, ProjectNode):

@@ -280,8 +280,16 @@ class BufferPool:
         """
         key = (device, page_no)
         frame = self._frames.get(key)
-        if frame is None or frame.fix_count <= 0:
+        if frame is None:
             raise BufferPoolError(f"page ({device!r}, {page_no}) is not fixed")
+        if frame.fix_count <= 0:
+            # The frame is resident but fully released: an unbalanced
+            # fix/unfix in the caller, distinct from unfixing a page
+            # that was never brought in at all.
+            raise BufferPoolError(
+                f"double unfix of page ({device!r}, {page_no}): "
+                "frame is resident but its fix count is already zero"
+            )
         if dirty:
             frame.dirty = True
         frame.fix_count -= 1

@@ -30,6 +30,9 @@ class SimulatedDisk(PagedDiskBase):
             ``page_size=1024``.
         stats: Shared statistics collector; pass the execution
             context's collector so all devices report to one place.
+        injector / retry_policy / backoff_clock: Optional
+            :mod:`repro.faults` wiring, forwarded to
+            :class:`~repro.storage.diskbase.PagedDiskBase`.
     """
 
     def __init__(
@@ -37,8 +40,9 @@ class SimulatedDisk(PagedDiskBase):
         name: str,
         page_size: int,
         stats: IoStatistics | None = None,
+        **fault_kwargs,
     ) -> None:
-        super().__init__(name, page_size, stats)
+        super().__init__(name, page_size, stats, **fault_kwargs)
         self._pages: list[bytearray] = []
 
     # -- physical-storage hooks ------------------------------------------

@@ -33,6 +33,9 @@ class FileBackedDisk(PagedDiskBase):
         page_size: Bytes per page / transfer unit.
         path: Backing file path; created (or truncated) on open.
         stats: Shared statistics collector.
+        injector / retry_policy / backoff_clock: Optional
+            :mod:`repro.faults` wiring, forwarded to
+            :class:`~repro.storage.diskbase.PagedDiskBase`.
     """
 
     def __init__(
@@ -41,8 +44,9 @@ class FileBackedDisk(PagedDiskBase):
         page_size: int,
         path: str | os.PathLike,
         stats: IoStatistics | None = None,
+        **fault_kwargs,
     ) -> None:
-        super().__init__(name, page_size, stats)
+        super().__init__(name, page_size, stats, **fault_kwargs)
         self.path = os.fspath(path)
         self._file = open(self.path, "w+b")
         self._allocated = 0

@@ -105,11 +105,14 @@ class HeapFile:
                 pass
             self.pool.unfix(self.disk.name, last)
         page_no = self._next_data_page()
+        # Track the page as data *before* touching it again: if the fix
+        # or insert below faults, destroy() must still find (and free)
+        # the page or it leaks on the device.
+        self._pages.append(page_no)
         view = self.pool.fix(self.disk.name, page_no)
         page = SlottedPage.format(view)
         slot = page.insert(record)
         self.pool.unfix(self.disk.name, page_no, dirty=True)
-        self._pages.append(page_no)
         self._record_count += 1
         return RecordId(page_no, slot)
 
@@ -206,11 +209,17 @@ class HeapFile:
                 trace.register_pages(
                     self.disk.name, self._unused_extent_pages, self.name
                 )
-        page_no = self._unused_extent_pages.pop(0)
+        # Peek, don't pop: fix_new may evict a dirty victim frame whose
+        # write-back faults, and a page popped before that point would
+        # belong to neither list -- invisible to destroy() and leaked
+        # on the device (found by the chaos suite under injected
+        # temp-device write faults).
+        page_no = self._unused_extent_pages[0]
         # Install a zeroed frame for the fresh page so formatting does
         # not require reading garbage from disk.
         view = self.pool.fix_new(self.disk.name, page_no)
         self.pool.unfix(self.disk.name, page_no, dirty=True)
+        self._unused_extent_pages.pop(0)
         return page_no
 
     def _check_live(self) -> None:

@@ -62,6 +62,13 @@ class MemoryPool:
             raise MemoryPoolError("memory budget must be positive (or None)")
         self.budget = budget
         self.stats = MemoryPoolStats()
+        #: Optional :class:`repro.faults.injector.FaultInjector`; when
+        #: set, every allocation is offered to it first (``exhaust``
+        #: raises :class:`MemoryPoolError`, ``pressure`` shrinks the
+        #: budget via :meth:`apply_pressure`).
+        self.injector = None
+        #: Times :meth:`apply_pressure` shrank the budget.
+        self.pressure_events = 0
         self._live: dict[int, Allocation] = {}
         self._next_handle = 0
         self._in_use = 0
@@ -90,6 +97,8 @@ class MemoryPool:
         """
         if size < 0:
             raise MemoryPoolError(f"allocation size must be >= 0, got {size}")
+        if self.injector is not None:
+            self.injector.on_memory_allocate(self, size, tag)
         if not self.can_allocate(size):
             raise MemoryPoolError(
                 f"memory pool exhausted: {self._in_use} bytes in use, "
@@ -103,6 +112,24 @@ class MemoryPool:
         self.stats.by_tag[tag] = self.stats.by_tag.get(tag, 0) + size
         self.stats.peak_bytes = max(self.stats.peak_bytes, self._in_use)
         return handle
+
+    def apply_pressure(self, factor: float) -> int:
+        """Shrink the budget to ``factor`` of its effective size.
+
+        Models an external memory squeeze (another query, the OS): the
+        new budget may fall *below* the bytes already in use, in which
+        case live allocations survive but future ones overflow -- which
+        is exactly what drives the hash operators into their
+        spill / partitioned degradation paths instead of aborting.
+
+        Returns the new budget in bytes.
+        """
+        if not 0.0 < factor <= 1.0:
+            raise MemoryPoolError(f"pressure factor must be in (0, 1], got {factor}")
+        effective = self.budget if self.budget is not None else max(1, self._in_use)
+        self.budget = max(1, int(effective * factor))
+        self.pressure_events += 1
+        return self.budget
 
     def free(self, handle: int) -> None:
         """Release one allocation."""

@@ -20,7 +20,7 @@ from repro.executor.aggregate import HashGroupCount
 from repro.executor.distinct import HashDistinct
 from repro.executor.filter import Select
 from repro.executor.hash_join import HashJoin, HashSemiJoin
-from repro.executor.iterator import QueryIterator, open_all
+from repro.executor.iterator import ExecContext, QueryIterator, open_all
 from repro.executor.scan import RelationSource
 from repro.executor.sort import ExternalSort
 from repro.core.hash_division import HashDivision
@@ -182,3 +182,111 @@ class TestDivisionOperators:
             division.open()
         assert division._divisor_list == []
         assert_reopenable(divisor)
+
+
+class TestFailedOpenUnderInjectedFaults:
+    """Failed opens under *real device faults*, not synthetic Booms.
+
+    A failed ``open()`` leaves the operator CLOSED, ``close()`` refuses
+    to run, and ``_close`` is never reached -- so spool and run files
+    written before the fault must be reclaimed by ``_open`` itself.
+    These tests inject permanent write faults on the temp and run
+    devices (tiny pages + a tiny buffer pool force eviction write-back
+    during the append) and assert the device ends with zero live pages.
+    """
+
+    @staticmethod
+    def _faulted_ctx(device: str) -> ExecContext:
+        from repro.faults import FaultInjector, FaultRule
+        from repro.storage.config import StorageConfig
+
+        ctx = ExecContext(
+            config=StorageConfig(
+                page_size=512,
+                sort_run_page_size=256,
+                buffer_size=4 * 512,
+                sort_buffer_size=4 * 512,
+            )
+        )
+        ctx.attach_fault_injector(
+            FaultInjector(
+                [FaultRule("permanent", op="write", device=device)], seed=0
+            )
+        )
+        return ctx
+
+    def test_materialize_failed_spool_destroys_temp_file(self):
+        from repro.errors import DiskFaultError, ExecutionError
+        from repro.executor.materialize import Materialize
+
+        ctx = self._faulted_ctx("temp")
+        rows = [(i, i % 7) for i in range(400)]
+        spool = Materialize(RelationSource(ctx, ints(("a", "b"), rows)))
+        with pytest.raises(DiskFaultError):
+            spool.open()
+        # The state machine stayed CLOSED: close() is a usage error,
+        # not the cleanup path ...
+        with pytest.raises(ExecutionError):
+            spool.close()
+        # ... so _open itself must have reclaimed the partial spool.
+        assert spool._file is None
+        assert ctx.temp_disk.page_count == 0
+        assert ctx.pool.fixed_page_count() == 0
+        ctx.close()
+
+    def test_sort_failed_spill_destroys_partial_runs(self):
+        from repro.errors import DiskFaultError, ExecutionError
+
+        ctx = self._faulted_ctx("runs")
+        capacity = ctx.config.sort_run_capacity_records(
+            Schema.of_ints("a").codec().record_size
+        )
+        rows = [(i,) for i in range(capacity * 3)]
+        sort = ExternalSort(
+            RelationSource(ctx, ints(("a",), rows)), key_names=("a",)
+        )
+        with pytest.raises(DiskFaultError):
+            sort.open()
+        with pytest.raises(ExecutionError):
+            sort.close()
+        assert sort._runs == []
+        assert ctx.run_disk.page_count == 0
+        assert ctx.pool.fixed_page_count() == 0
+        ctx.close()
+
+    def test_one_shot_fault_then_reopen_succeeds(self):
+        """After a faulted open the operator is reopenable once the
+        fault clears -- nothing about the failure is sticky."""
+        from repro.errors import DiskFaultError
+        from repro.executor.materialize import Materialize
+        from repro.faults import FaultInjector, FaultRule
+        from repro.storage.config import StorageConfig
+
+        ctx = ExecContext(
+            config=StorageConfig(
+                page_size=512,
+                sort_run_page_size=256,
+                buffer_size=4 * 512,
+                sort_buffer_size=4 * 512,
+            )
+        )
+        ctx.attach_fault_injector(
+            FaultInjector(
+                [
+                    FaultRule(
+                        "permanent", op="write", device="temp", max_fires=1
+                    )
+                ],
+                seed=0,
+            )
+        )
+        rows = [(i, i) for i in range(400)]
+        spool = Materialize(RelationSource(ctx, ints(("a", "b"), rows)))
+        with pytest.raises(DiskFaultError):
+            spool.open()
+        # The rule is exhausted; the same operator opens cleanly now.
+        spool.open()
+        assert sum(1 for _ in spool) == len(rows)
+        spool.close()
+        assert ctx.temp_disk.page_count == 0
+        ctx.close()

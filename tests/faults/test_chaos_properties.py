@@ -1,0 +1,127 @@
+"""Property-based chaos campaigns (hypothesis).
+
+The one property that matters, quantified over fault schedules:
+**correct answer or typed error, never silent corruption** -- and a
+clean stack either way.  Each example derives a fault programme, a
+memory budget, and a workload from one drawn seed, runs the full
+planner -> executor path over cold stored relations on fault-injected
+devices, and asserts the whole invariant bundle checked by
+:func:`repro.faults.chaos.run_chaos_query`.
+"""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.faults import FaultInjector, FaultRule, schedule_to_jsonl
+from repro.faults.chaos import (
+    default_chaos_rules,
+    run_campaign,
+    run_chaos_query,
+)
+from repro.workloads.synthetic import make_exact_division
+
+SEEDS = st.integers(min_value=0, max_value=2**32 - 1)
+
+
+def _example(run_seed: int):
+    """One derived chaos example: (dividend, divisor, rules, budget)."""
+    rng = random.Random(run_seed ^ 0x5DEECE66D)
+    rules = default_chaos_rules(rng)
+    budget = rng.choice([None, None, 2048, 8192])
+    dividend, divisor = make_exact_division(4, 12, seed=run_seed & 0xFFFF)
+    return dividend, divisor, rules, budget
+
+
+@settings(max_examples=220, deadline=None)
+@given(run_seed=SEEDS)
+def test_correct_answer_or_typed_error_never_silent_corruption(run_seed):
+    dividend, divisor, rules, budget = _example(run_seed)
+    outcome = run_chaos_query(
+        dividend, divisor, rules, seed=run_seed, memory_budget=budget
+    )
+    assert outcome.ok, (
+        f"chaos invariant violated (seed {run_seed}, rules "
+        f"{[r.to_dict() for r in rules]}): {outcome.violations}"
+    )
+    assert outcome.outcome in ("answer", "typed-error")
+    if outcome.outcome == "answer":
+        assert outcome.result_tuples == outcome.oracle_tuples
+    else:
+        assert outcome.error_type  # a *named* ReproError subtype
+
+
+@settings(max_examples=30, deadline=None)
+@given(run_seed=SEEDS)
+def test_same_seed_replays_a_byte_identical_schedule(run_seed):
+    dividend, divisor, rules, budget = _example(run_seed)
+
+    def schedule():
+        outcome = run_chaos_query(
+            dividend, divisor, rules, seed=run_seed, memory_budget=budget
+        )
+        return schedule_to_jsonl(outcome.schedule), outcome.outcome
+
+    assert schedule() == schedule()
+
+
+@settings(max_examples=25, deadline=None)
+@given(run_seed=SEEDS, data=st.data())
+def test_fault_free_runs_always_answer(run_seed, data):
+    """With no rules armed, every query must return the oracle answer --
+    the chaos harness itself must not perturb execution."""
+    dividend, divisor = make_exact_division(3, 9, seed=run_seed & 0xFFFF)
+    outcome = run_chaos_query(dividend, divisor, rules=[], seed=run_seed)
+    assert outcome.ok
+    assert outcome.outcome == "answer"
+    assert outcome.result_tuples == outcome.oracle_tuples
+    assert outcome.schedule == []
+    assert outcome.backoff_waits == 0
+
+
+def test_campaign_is_deterministic_and_clean():
+    a = run_campaign(seed=1234, queries=12)
+    b = run_campaign(seed=1234, queries=12)
+    assert a.ok, a.violations()
+    assert a.schedule_jsonl() == b.schedule_jsonl()
+    assert a.answers + a.typed_errors == 12
+    assert [r.seed for r in a.records] == [r.seed for r in b.records]
+
+
+def test_campaign_max_seconds_only_truncates():
+    full = run_campaign(seed=77, queries=8)
+    capped = run_campaign(seed=77, queries=8, max_seconds=0.0)
+    assert len(capped.records) == 1  # checked after the first run
+    # The one run that did happen is identical to the full campaign's.
+    assert (
+        capped.records[0].outcome.to_dict() == full.records[0].outcome.to_dict()
+    )
+
+
+def test_rules_can_be_pinned_across_a_campaign():
+    rules = [FaultRule("transient", op="read", probability=0.1)]
+    report = run_campaign(seed=5, queries=6, rules=rules)
+    assert report.ok, report.violations()
+    assert all(record.rules == rules for record in report.records)
+
+
+def test_untyped_errors_propagate_out_of_the_harness():
+    """A non-ReproError is a bug, not an outcome: the harness must not
+    swallow it into 'typed-error'."""
+    dividend, divisor = make_exact_division(2, 4, seed=0)
+
+    class Sabotaged(FaultInjector):
+        def on_disk_op(self, *args, **kwargs):
+            raise RuntimeError("untyped bug")
+
+    import pytest
+
+    from repro.faults import chaos as chaos_mod
+
+    original = chaos_mod.FaultInjector
+    chaos_mod.FaultInjector = Sabotaged
+    try:
+        with pytest.raises(RuntimeError, match="untyped bug"):
+            run_chaos_query(dividend, divisor, rules=[], seed=0)
+    finally:
+        chaos_mod.FaultInjector = original

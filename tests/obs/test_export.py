@@ -165,7 +165,7 @@ class TestProvenance:
     def test_payloads_carry_a_provenance_block(self):
         payload = make_bench_payload("prov", {"ms": 1.0}, created_unix=0.0)
         provenance = payload["provenance"]
-        assert payload["schema_version"] == 2
+        assert payload["schema_version"] == 3
         assert provenance["page_size"] == 8 * 1024
         assert provenance["sort_run_page_size"] == 1 * 1024
         assert provenance["buffer_size"] == 256 * 1024
@@ -190,6 +190,47 @@ class TestProvenance:
         )
         assert payload["provenance"] == stamp
         assert payload["provenance"] is not stamp  # defensive copy
+
+    def test_fault_injection_defaults_to_disabled(self):
+        """v3: every ordinary benchmark states faults were OFF."""
+        payload = make_bench_payload("prov", {"ms": 1.0}, created_unix=0.0)
+        assert payload["provenance"]["fault_injection"] == {"enabled": False}
+
+    def test_fault_injection_summary_travels_in_provenance(self):
+        from repro.faults import FaultInjector, FaultRule
+        from repro.obs.export import provenance_info
+
+        injector = FaultInjector(
+            [FaultRule("transient", op="read", probability=1.0)], seed=9
+        )
+        info = provenance_info(fault_injection=injector.summary())
+        block = info["fault_injection"]
+        assert block["enabled"] is True
+        assert block["seed"] == 9
+        assert block["rules"][0]["kind"] == "transient"
+        payload = make_bench_payload(
+            "chaos", {"ms": 1.0}, created_unix=0.0, provenance=info
+        )
+        assert payload["provenance"]["fault_injection"]["seed"] == 9
+
+    def test_v2_payload_without_fault_injection_still_loads(self, tmp_path):
+        """Trajectory back-compat: v2 artifacts predate fault_injection."""
+        import json as json_mod
+
+        legacy = make_bench_payload("v2legacy", {"ms": 2.0}, created_unix=0.0)
+        legacy["schema_version"] = 2
+        del legacy["provenance"]["fault_injection"]
+        path = tmp_path / "BENCH_v2legacy.json"
+        path.write_text(json_mod.dumps(legacy))
+        payload = load_bench_json(path)
+        assert payload["schema_version"] == 2
+        assert "fault_injection" not in payload["provenance"]
+
+    def test_malformed_fault_injection_rejected(self):
+        payload = make_bench_payload("badfi", {"ms": 1.0}, created_unix=0.0)
+        payload["provenance"]["fault_injection"] = "yes"
+        with pytest.raises(ValueError, match="fault_injection"):
+            validate_bench_payload(payload)
 
     def test_v1_payload_without_provenance_still_loads(self, tmp_path):
         """Trajectory back-compat: v1 artifacts predate provenance."""

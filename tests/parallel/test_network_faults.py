@@ -1,0 +1,137 @@
+"""Interconnect faults: drops, duplicates, retransmission, idempotence.
+
+Exactly-once *results* without exactly-once *delivery*: a retransmitted
+batch pays wire cost twice but arrives once; a duplicated batch arrives
+twice but the consumers are idempotent (divisor tables eliminate
+duplicates per Section 3.3; bitmaps set the same bit twice), so the
+parallel quotient is unchanged.
+"""
+
+import pytest
+
+from repro.errors import NetworkFaultError
+from repro.faults import FaultInjector, FaultRule
+from repro.parallel import parallel_hash_division
+from repro.parallel.network import Interconnect
+from repro.relalg.algebra import divide_set_semantics
+from repro.workloads.synthetic import make_exact_division
+
+
+class TestSendValidation:
+    def test_negative_tuples_rejected(self):
+        with pytest.raises(ValueError, match="tuples must be >= 0"):
+            Interconnect().send(0, 1, -1, 16)
+
+    def test_negative_tuple_bytes_rejected(self):
+        with pytest.raises(ValueError, match="tuple_bytes must be >= 0"):
+            Interconnect().send(0, 1, 4, -16)
+
+    def test_max_attempts_must_be_positive(self):
+        with pytest.raises(ValueError, match="max_attempts"):
+            Interconnect(max_attempts=0)
+
+    def test_zero_tuples_is_free_local_delivery(self):
+        network = Interconnect()
+        assert network.send(0, 1, 0, 16) == 1
+        assert network.total_tuples == 0
+
+
+class TestFaultedSend:
+    def test_dropped_batch_is_retransmitted(self):
+        network = Interconnect(
+            injector=FaultInjector([FaultRule("drop", max_fires=1)], seed=0)
+        )
+        copies = network.send(0, 1, 10, 16)
+        assert copies == 1
+        assert network.fault_counters.drops == 1
+        assert network.fault_counters.retransmits == 1
+        # Both attempts paid full wire cost.
+        assert network.total_tuples == 20
+
+    def test_retransmission_budget_exhausts_to_typed_error(self):
+        network = Interconnect(
+            injector=FaultInjector([FaultRule("drop")], seed=0), max_attempts=3
+        )
+        with pytest.raises(NetworkFaultError, match="dropped 3 times"):
+            network.send(2, 5, 10, 16)
+        assert network.fault_counters.drops == 3
+        assert network.fault_counters.retransmits == 2
+
+    def test_duplicate_batch_delivers_two_copies(self):
+        network = Interconnect(
+            injector=FaultInjector([FaultRule("duplicate", max_fires=1)], seed=0)
+        )
+        assert network.send(0, 1, 10, 16) == 2
+        assert network.fault_counters.duplicates == 1
+        assert network.total_tuples == 20  # the copy also crossed the wire
+
+    def test_local_send_bypasses_the_injector(self):
+        injector = FaultInjector([FaultRule("drop")], seed=0)
+        network = Interconnect(injector=injector)
+        assert network.send(3, 3, 10, 16) == 1
+        assert injector.operations_seen == 0
+
+    def test_no_injector_fast_path(self):
+        network = Interconnect()
+        assert network.send(0, 1, 10, 16) == 1
+        assert network.fault_counters.to_dict() == {
+            "drops": 0,
+            "retransmits": 0,
+            "duplicates": 0,
+        }
+
+
+class TestParallelIdempotence:
+    @pytest.mark.parametrize("strategy", ["quotient", "divisor"])
+    @pytest.mark.parametrize("kind", ["drop", "duplicate"])
+    def test_faulted_links_do_not_change_the_quotient(self, strategy, kind):
+        """Drops are healed by retransmission, duplicates by idempotent
+        consumers: the parallel quotient equals the serial oracle."""
+        dividend, divisor = make_exact_division(6, 24, seed=5)
+        oracle = set(divide_set_semantics(dividend, divisor))
+        injector = FaultInjector(
+            [FaultRule(kind, probability=0.25)], seed=17
+        )
+        result = parallel_hash_division(
+            dividend, divisor, processors=4, strategy=strategy, injector=injector
+        )
+        assert set(result.quotient.rows) == oracle
+        assert injector.counters.total > 0  # faults actually fired
+
+    @pytest.mark.parametrize("strategy", ["quotient", "divisor"])
+    def test_persistent_drops_surface_as_typed_error(self, strategy):
+        dividend, divisor = make_exact_division(4, 16, seed=3)
+        injector = FaultInjector([FaultRule("drop")], seed=0)
+        with pytest.raises(NetworkFaultError):
+            parallel_hash_division(
+                dividend, divisor, processors=4, strategy=strategy, injector=injector
+            )
+
+    def test_decentralized_collection_survives_duplicates(self):
+        dividend, divisor = make_exact_division(6, 24, seed=9)
+        oracle = set(divide_set_semantics(dividend, divisor))
+        injector = FaultInjector([FaultRule("duplicate", probability=0.3)], seed=23)
+        result = parallel_hash_division(
+            dividend,
+            divisor,
+            processors=4,
+            strategy="quotient",
+            collection="decentralized",
+            injector=injector,
+        )
+        assert set(result.quotient.rows) == oracle
+
+    def test_no_faults_matches_fault_free_run_exactly(self):
+        """An injector whose rules never fire must leave the simulation
+        byte-identical to a run without any injector."""
+        dividend, divisor = make_exact_division(4, 16, seed=1)
+        plain = parallel_hash_division(dividend, divisor, processors=4)
+        nulled = parallel_hash_division(
+            dividend,
+            divisor,
+            processors=4,
+            injector=FaultInjector([FaultRule("drop", probability=0.0)], seed=0),
+        )
+        assert list(plain.quotient.rows) == list(nulled.quotient.rows)
+        assert plain.elapsed_ms == nulled.elapsed_ms
+        assert plain.network.total_bytes == nulled.network.total_bytes

@@ -51,8 +51,24 @@ class TestFixUnfix:
 
     def test_unfix_unfixed_page_rejected(self):
         pool, _ = make_pool()
-        with pytest.raises(BufferPoolError):
+        with pytest.raises(BufferPoolError, match=r"\('d', 0\) is not fixed"):
             pool.unfix("d", 0)
+
+    def test_double_unfix_is_a_distinct_error_naming_the_page(self):
+        """Unbalanced fix/unfix on a *resident* frame is its own error,
+        distinct from unfixing a page that was never brought in."""
+        pool, _ = make_pool()
+        page_no, _ = pool.new_page("d")
+        pool.unfix("d", page_no)
+        with pytest.raises(
+            BufferPoolError,
+            match=rf"double unfix of page \('d', {page_no}\).*already zero",
+        ):
+            pool.unfix("d", page_no)
+        # The frame itself is unharmed: it can be fixed again.
+        pool.fix("d", page_no)
+        pool.unfix("d", page_no)
+        assert pool.fixed_page_count() == 0
 
     def test_nested_fixes_require_matching_unfixes(self):
         pool, _ = make_pool()
