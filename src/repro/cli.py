@@ -12,6 +12,14 @@ Examples::
     python -m repro parallel --processors 8 --strategy divisor
     python -m repro profile --strategy hash-division --divisor 25 --quotient 25
     python -m repro chaos --seed 42 --queries 30 --schedule-out faults.jsonl
+    python -m repro chaos --scenario serve --rounds 5
+    python -m repro serve --clients 4 --requests 8 --compare
+    python -m repro --seed 7 serve --clients 2 --tiny-pages --faults --json
+
+A global ``--seed N`` (before the subcommand) overrides every
+subcommand's seed, so one flag re-seeds the workload generators
+(``repro.workloads.synthetic`` / ``repro.workloads.zipf``), the chaos
+campaign, and the serving scheduler together.
 """
 
 from __future__ import annotations
@@ -302,7 +310,24 @@ def _cmd_advisor(args: argparse.Namespace) -> None:
 def _cmd_chaos(args: argparse.Namespace) -> None:
     import json as _json
 
-    from repro.faults.chaos import run_campaign
+    from repro.faults.chaos import run_campaign, run_serve_campaign
+
+    if args.scenario == "serve":
+        serve_report = run_serve_campaign(
+            seed=args.seed,
+            rounds=args.rounds,
+            memory_budget=args.memory_budget,
+            max_seconds=args.max_seconds,
+        )
+        if args.json:
+            print(_json.dumps(serve_report.to_dict(), indent=2, sort_keys=True))
+        else:
+            print(serve_report.summary_line())
+            for violation in serve_report.violations():
+                print(f"  VIOLATION: {violation}")
+        if not serve_report.ok:
+            raise SystemExit(1)
+        return
 
     report = run_campaign(
         seed=args.seed,
@@ -341,11 +366,97 @@ def _cmd_chaos(args: argparse.Namespace) -> None:
         raise SystemExit(1)
 
 
+def _cmd_serve(args: argparse.Namespace) -> None:
+    import json as _json
+    import random as _random
+
+    from repro.serve.bench import (
+        SMOKE_CONFIG,
+        LoadConfig,
+        cache_comparison,
+        export_serve_bench,
+        run_load,
+    )
+
+    fault_rules: tuple = ()
+    if args.faults:
+        from repro.faults.chaos import default_chaos_rules
+
+        fault_rules = tuple(
+            default_chaos_rules(_random.Random(args.fault_seed ^ 0x5E12E))
+        )
+    config = LoadConfig(
+        clients=args.clients,
+        requests_per_client=args.requests,
+        seed=args.seed,
+        skew=args.skew,
+        table_pairs=args.tables,
+        divisor_tuples=args.divisor,
+        quotient_tuples=args.quotient,
+        update_fraction=args.update_fraction,
+        deadline_ms=args.deadline_ms,
+        plan_cache=not args.no_plan_cache,
+        result_cache=not args.no_result_cache,
+        memory_budget=args.memory_budget,
+        storage_config=SMOKE_CONFIG if args.tiny_pages else None,
+        fault_rules=fault_rules,
+        fault_seed=args.fault_seed,
+    )
+    baseline = None
+    if args.compare:
+        report, baseline, speedup = cache_comparison(config)
+    else:
+        report = run_load(config)
+    if args.replay_check:
+        replay = run_load(config)
+        if (
+            replay.trace_digest != report.trace_digest
+            or replay.to_dict() != report.to_dict()
+        ):
+            print(
+                "REPLAY DIVERGED: "
+                f"{report.trace_digest[:16]} != {replay.trace_digest[:16]}",
+                file=sys.stderr,
+            )
+            raise SystemExit(1)
+        print(
+            f"replay check ok: digest {report.trace_digest[:16]} reproduced",
+            file=sys.stderr,
+        )
+    if args.bench_out:
+        path = export_serve_bench(
+            args.bench_out, args.bench_name, report, baseline=baseline
+        )
+        print(f"wrote BENCH artifact to {path}", file=sys.stderr)
+    if args.json:
+        payload = report.to_dict()
+        if baseline is not None:
+            payload["baseline"] = baseline.to_dict()
+            payload["cache_speedup"] = round(speedup, 4)
+        print(_json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        print(report.summary_line())
+        if baseline is not None:
+            print(baseline.summary_line())
+            print(f"result-cache speedup: {speedup:.2f}x (virtual throughput)")
+    if report.untyped_failures:
+        for line in report.untyped_failures:
+            print(f"  UNTYPED FAILURE: {line}", file=sys.stderr)
+        raise SystemExit(1)
+    if report.oracle_mismatches:
+        print(
+            f"  ORACLE MISMATCHES: {report.oracle_mismatches}", file=sys.stderr
+        )
+        raise SystemExit(1)
+
+
 def _cmd_parallel(args: argparse.Namespace) -> None:
     from repro.parallel import parallel_hash_division
     from repro.workloads.synthetic import make_exact_division
 
-    dividend, divisor = make_exact_division(args.divisor, args.quotient, seed=0)
+    dividend, divisor = make_exact_division(
+        args.divisor, args.quotient, seed=args.seed
+    )
     result = parallel_hash_division(
         dividend,
         divisor,
@@ -372,6 +483,17 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--version", action="version", version=f"repro {__version__}"
+    )
+    parser.add_argument(
+        "--seed",
+        type=int,
+        default=None,
+        dest="global_seed",
+        metavar="N",
+        help="global seed override: takes precedence over any "
+        "subcommand --seed, re-seeding the workload generators "
+        "(repro.workloads), the chaos campaign, and the serving "
+        "scheduler from one flag",
     )
     commands = parser.add_subparsers(dest="command", required=True)
 
@@ -577,10 +699,25 @@ def build_parser() -> argparse.ArgumentParser:
         "invariant is violated.",
     )
     chaos_parser.add_argument(
+        "--scenario",
+        choices=("query", "serve"),
+        default="query",
+        help="query: one division at a time through the planner path "
+        "(the original campaign); serve: concurrent clients, caches, "
+        "admission, and updates through repro.serve under the same "
+        "fault programmes (default: query)",
+    )
+    chaos_parser.add_argument(
         "--seed", type=int, default=0, help="campaign seed (default: 0)"
     )
     chaos_parser.add_argument(
         "--queries", type=int, default=30, help="queries to run (default: 30)"
+    )
+    chaos_parser.add_argument(
+        "--rounds",
+        type=int,
+        default=5,
+        help="service rounds for --scenario serve (default: 5)",
     )
     chaos_parser.add_argument(
         "--divisor", type=int, default=8, help="|S| per query (default: 8)"
@@ -623,7 +760,113 @@ def build_parser() -> argparse.ArgumentParser:
     parallel_parser.add_argument("--divisor", type=int, default=100)
     parallel_parser.add_argument("--quotient", type=int, default=400)
     parallel_parser.add_argument("--bitvector", type=int, default=None)
+    parallel_parser.add_argument(
+        "--seed", type=int, default=0, help="workload seed (default: 0)"
+    )
     parallel_parser.set_defaults(handler=_cmd_parallel)
+
+    serve_parser = commands.add_parser(
+        "serve",
+        help="run the concurrent-serving load harness (repro.serve)",
+        description="Drive N simulated clients through the deterministic "
+        "query service: Zipf-skewed division mixes with optional catalog "
+        "updates, admission control against the memory budget, and "
+        "version-invalidated plan/result caches.  All reported times are "
+        "virtual model milliseconds, so one seed reproduces one run "
+        "byte-for-byte (--replay-check proves it).  Exits 1 on any "
+        "untyped failure or serial-order-oracle mismatch.",
+    )
+    serve_parser.add_argument(
+        "--clients", type=int, default=4, help="simulated clients (default: 4)"
+    )
+    serve_parser.add_argument(
+        "--requests",
+        type=int,
+        default=8,
+        help="requests per client (default: 8)",
+    )
+    serve_parser.add_argument(
+        "--seed", type=int, default=0, help="harness seed (default: 0)"
+    )
+    serve_parser.add_argument(
+        "--skew",
+        type=float,
+        default=1.0,
+        help="Zipf exponent over table popularity (0 = uniform; default: 1)",
+    )
+    serve_parser.add_argument(
+        "--tables", type=int, default=4, help="stored table pairs (default: 4)"
+    )
+    serve_parser.add_argument(
+        "--divisor", type=int, default=4, help="|S| per pair (default: 4)"
+    )
+    serve_parser.add_argument(
+        "--quotient", type=int, default=16, help="|Q| per pair (default: 16)"
+    )
+    serve_parser.add_argument(
+        "--update-fraction",
+        type=float,
+        default=0.0,
+        help="probability a request is an insert (default: 0)",
+    )
+    serve_parser.add_argument(
+        "--deadline-ms",
+        type=float,
+        default=None,
+        help="per-request deadline in model ms (default: none)",
+    )
+    serve_parser.add_argument(
+        "--memory-budget",
+        type=int,
+        default=1 << 20,
+        help="admission capacity in bytes (default: 1 MiB)",
+    )
+    serve_parser.add_argument(
+        "--no-plan-cache", action="store_true", help="disable the plan cache"
+    )
+    serve_parser.add_argument(
+        "--no-result-cache",
+        action="store_true",
+        help="disable the result cache",
+    )
+    serve_parser.add_argument(
+        "--tiny-pages",
+        action="store_true",
+        help="use the 512-byte smoke storage configuration",
+    )
+    serve_parser.add_argument(
+        "--faults",
+        action="store_true",
+        help="attach a seeded fault programme after the fault-free load",
+    )
+    serve_parser.add_argument(
+        "--fault-seed", type=int, default=0, help="fault schedule seed"
+    )
+    serve_parser.add_argument(
+        "--compare",
+        action="store_true",
+        help="also run with caches off and report the throughput speedup",
+    )
+    serve_parser.add_argument(
+        "--replay-check",
+        action="store_true",
+        help="run twice and fail unless the interleaving digest and full "
+        "report reproduce byte-for-byte",
+    )
+    serve_parser.add_argument(
+        "--bench-out",
+        metavar="DIR",
+        help="write a schema-v4 BENCH_<name>.json artifact here",
+    )
+    serve_parser.add_argument(
+        "--bench-name",
+        default="serve_load",
+        help="BENCH artifact name (default: serve_load)",
+    )
+    serve_parser.add_argument(
+        "--json", action="store_true", help="print the full report as JSON"
+    )
+    serve_parser.set_defaults(handler=_cmd_serve)
 
     return parser
 
@@ -639,6 +882,10 @@ def main(argv: Sequence[str] | None = None) -> int:
     """
     parser = build_parser()
     args = parser.parse_args(argv)
+    if getattr(args, "global_seed", None) is not None:
+        # The global flag wins over any subcommand --seed: one knob
+        # re-seeds workload generation, chaos, and serving together.
+        args.seed = args.global_seed
     try:
         args.handler(args)
     except BrokenPipeError:

@@ -125,6 +125,46 @@ class FaultConfigError(ReproError):
     """A fault-injection rule or injector was configured incorrectly."""
 
 
+class ServeError(ReproError):
+    """Base class for query-service (``repro.serve``) failures."""
+
+
+class QueryTimeoutError(ServeError):
+    """A served query exceeded its session deadline.
+
+    Raised *into* the query's task by the cooperative scheduler at the
+    first step boundary past the deadline (virtual model time), so the
+    task's ``finally`` blocks release every grant, lock, and iterator
+    before the error surfaces to the client.
+    """
+
+
+class QueryCancelledError(ServeError):
+    """A served query was cancelled before completing.
+
+    Like :class:`QueryTimeoutError`, delivered at a step boundary so
+    cancellation unwinds through the task's cleanup path (the reason
+    ``QueryIterator.close()`` must be idempotent).
+    """
+
+
+class ServiceOverloadError(ServeError):
+    """The service shed load instead of queueing another request.
+
+    Raised at submit time when the admission controller's bounded wait
+    queue is full -- the backpressure signal that replaces mid-build
+    :class:`MemoryPoolError` overflow under concurrent load.
+    """
+
+
+class SchedulerError(ServeError):
+    """The cooperative scheduler was misused or deadlocked.
+
+    Raised when every live task is parked on a condition no runnable
+    task can satisfy, or on protocol misuse (stepping a finished task).
+    """
+
+
 class WorkloadError(ReproError):
     """A workload generator received inconsistent parameters."""
 

@@ -230,6 +230,7 @@ class QueryIterator:
         self.schema = schema
         self.rows_produced = 0
         self._state = _State.CLOSED
+        self._ever_opened = False
 
     # -- public protocol ---------------------------------------------------
 
@@ -241,15 +242,26 @@ class QueryIterator:
             )
         self.rows_produced = 0
         tracer = self.ctx.tracer
-        if tracer.enabled:
-            tracer.operator_enter(self, "open")
-            try:
+        try:
+            if tracer.enabled:
+                tracer.operator_enter(self, "open")
+                try:
+                    self._open()
+                finally:
+                    tracer.operator_exit(self, "open")
+            else:
                 self._open()
-            finally:
-                tracer.operator_exit(self, "open")
-        else:
-            self._open()
+        except BaseException:
+            # Every ``_open`` cleans up after its own failure (closes
+            # the children it opened, frees the tables it charged), so
+            # the operator holds nothing -- but unwind paths above us
+            # (a ``finally: root.close()``, an overflow fallback) will
+            # still call ``close()``.  Count the attempt so that call
+            # is the idempotent no-op, not a protocol error.
+            self._ever_opened = True
+            raise
         self._state = _State.OPEN
+        self._ever_opened = True
 
     def next(self) -> Optional[Row]:
         """Produce the next tuple, or ``None`` when exhausted."""
@@ -275,9 +287,29 @@ class QueryIterator:
         return row
 
     def close(self) -> None:
-        """Release resources; idempotent once open."""
+        """Release resources; **idempotent** once the operator has ever
+        been opened.
+
+        A second ``close()`` after a successful close is a no-op rather
+        than an error: cancellation and error-unwind paths (the
+        scheduler throwing :class:`~repro.errors.QueryCancelledError`
+        into a task, :func:`open_all`'s partial unwind, a plan-level
+        ``close()`` after an operator already tore itself down) can
+        each reach an operator that another path closed first, and a
+        raising close used to abort the unwind halfway -- leaving
+        *sibling* subtrees open (leaked fixed frames) or, for operators
+        whose ``_close`` unfixes pages, double-unfixing.  The state
+        machine guarantees ``_close`` runs at most once per ``open``.
+
+        Closing an operator that was *never* opened is still a protocol
+        error: it has no resources, so the call is a caller bug.
+        """
         if self._state is _State.CLOSED:
-            raise ExecutionError(f"{type(self).__name__}.close() called while closed")
+            if not self._ever_opened:
+                raise ExecutionError(
+                    f"{type(self).__name__}.close() called while closed"
+                )
+            return  # idempotent: already closed after a previous open
         tracer = self.ctx.tracer
         if tracer.enabled:
             tracer.operator_enter(self, "close")

@@ -437,3 +437,213 @@ def run_campaign(
             break
     report.elapsed_s = time.monotonic() - started
     return report
+
+
+# -- the serve scenario ------------------------------------------------
+#
+# The query scenario above stresses one division at a time; the serve
+# scenario stresses the *service*: concurrent clients, catalog updates,
+# caches, admission grants, and deadlines -- all under the same fault
+# programmes.  Its invariant extends the chaos invariant:
+#
+#     every request either completes with the serial-order-oracle-equal
+#     answer or fails with a typed ReproError, AND after the drain no
+#     admission grant bytes, table locks, fixed buffer frames, or
+#     memory-pool bytes survive.
+#
+# Oracle checks skip relations tainted by failed (possibly partial)
+# writes -- their ground truth is unknowable -- but cache coherence is
+# still enforced for them: the catalog bumps versions even on failed
+# writes, so a stale cached quotient would surface as a mismatch on an
+# *untainted* table downstream.
+
+#: Scenario names accepted by the CLI's ``chaos --scenario``.
+CHAOS_SCENARIOS = ("query", "serve")
+
+
+@dataclass
+class ServeChaosRecord:
+    """One serve-scenario round: its seeds, rules, and verdict."""
+
+    index: int
+    seed: int
+    rules: list[FaultRule]
+    requests: int = 0
+    ok: int = 0
+    typed_errors: int = 0
+    timeouts: int = 0
+    shed: int = 0
+    cached: int = 0
+    faults_fired: int = 0
+    oracle_checked: int = 0
+    trace_digest: str = ""
+    violations: list[str] = field(default_factory=list)
+
+    def to_dict(self) -> dict:
+        return {
+            "round": self.index,
+            "seed": self.seed,
+            "rules": [rule.to_dict() for rule in self.rules],
+            "requests": self.requests,
+            "ok": self.ok,
+            "typed_errors": self.typed_errors,
+            "timeouts": self.timeouts,
+            "shed": self.shed,
+            "cached": self.cached,
+            "faults_fired": self.faults_fired,
+            "oracle_checked": self.oracle_checked,
+            "trace_digest": self.trace_digest,
+            "violations": list(self.violations),
+        }
+
+
+@dataclass
+class ServeChaosReport:
+    """Aggregate verdict of one serve-scenario campaign."""
+
+    seed: int
+    records: list[ServeChaosRecord] = field(default_factory=list)
+    elapsed_s: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return all(not record.violations for record in self.records)
+
+    def violations(self) -> list[str]:
+        out = []
+        for record in self.records:
+            out.extend(
+                f"round {record.index} (seed {record.seed}): {violation}"
+                for violation in record.violations
+            )
+        return out
+
+    def to_dict(self) -> dict:
+        return {
+            "scenario": "serve",
+            "seed": self.seed,
+            "rounds": len(self.records),
+            "requests": sum(r.requests for r in self.records),
+            "ok_requests": sum(r.ok for r in self.records),
+            "typed_errors": sum(r.typed_errors for r in self.records),
+            "faults_fired": sum(r.faults_fired for r in self.records),
+            "ok": self.ok,
+            "elapsed_s": round(self.elapsed_s, 3),
+            "runs": [record.to_dict() for record in self.records],
+        }
+
+    def summary_line(self) -> str:
+        status = "OK" if self.ok else "INVARIANT VIOLATED"
+        requests = sum(r.requests for r in self.records)
+        ok_requests = sum(r.ok for r in self.records)
+        errors = sum(r.typed_errors for r in self.records)
+        fired = sum(r.faults_fired for r in self.records)
+        return (
+            f"serve chaos seed {self.seed}: {len(self.records)} rounds, "
+            f"{ok_requests}/{requests} requests ok, {errors} typed errors, "
+            f"{fired} faults fired -- {status}"
+        )
+
+
+def run_serve_campaign(
+    seed: int = 0,
+    rounds: int = 5,
+    clients: int = 3,
+    requests_per_client: int = 5,
+    table_pairs: int = 2,
+    divisor_tuples: int = 4,
+    quotient_tuples: int = 12,
+    update_fraction: float = 0.25,
+    memory_budget: int | None = None,
+    max_seconds: float | None = None,
+    rules: list[FaultRule] | None = None,
+) -> ServeChaosReport:
+    """Run the serve chaos scenario: concurrent service under faults.
+
+    Each round builds a fresh service on fault-injected devices (tiny
+    smoke pages, so small workloads still present many fault-eligible
+    transfers), drives a deterministic multi-client mixed
+    query/update script through it, and audits the extended invariant.
+    Everything derives from ``seed``; ``max_seconds`` only truncates.
+
+    A round's memory budget and per-request deadline are drawn from the
+    round's rule RNG (unless ``memory_budget`` pins the former), so
+    campaigns also exercise admission waiting, load shedding, overflow
+    fallback, and deadline delivery under faults.
+    """
+    from repro.errors import ServeError
+    from repro.serve.bench import SMOKE_CONFIG, LoadConfig, run_load
+
+    master = random.Random(seed)
+    report = ServeChaosReport(seed=seed)
+    started = time.monotonic()
+    for index in range(rounds):
+        run_seed = master.randrange(2**32)
+        rule_rng = random.Random(run_seed ^ 0x9E3779B9)
+        run_rules = (
+            list(rules) if rules is not None else default_chaos_rules(rule_rng)
+        )
+        budget = (
+            memory_budget
+            if memory_budget is not None
+            else rule_rng.choice([None, None, 4096, 16384, 1 << 16])
+        )
+        deadline = rule_rng.choice([None, None, None, 50.0, 250.0])
+        record = ServeChaosRecord(index=index, seed=run_seed, rules=run_rules)
+        config = LoadConfig(
+            clients=clients,
+            requests_per_client=requests_per_client,
+            seed=run_seed & 0xFFFF,
+            skew=1.0,
+            table_pairs=table_pairs,
+            divisor_tuples=divisor_tuples,
+            quotient_tuples=quotient_tuples,
+            update_fraction=update_fraction,
+            deadline_ms=deadline,
+            memory_budget=budget,
+            track_oracle=True,
+            storage_config=SMOKE_CONFIG,
+            fault_rules=tuple(run_rules),
+            fault_seed=run_seed,
+        )
+        try:
+            load = run_load(config)
+        except ServeError as exc:
+            # run_load's post-drain audit found leaked grants, locks,
+            # fixed frames, or pool bytes -- the invariant's second arm.
+            record.violations.append(f"dirty drain: {exc}")
+            report.records.append(record)
+            if max_seconds is not None and time.monotonic() - started >= max_seconds:
+                break
+            continue
+        record.requests = load.requests
+        record.ok = load.ok
+        record.typed_errors = load.timeouts + load.shed + load.errors
+        record.timeouts = load.timeouts
+        record.shed = load.shed
+        record.cached = load.cached_results
+        record.faults_fired = sum(
+            load.fault_summary.get("faults_fired", {}).values()
+        )
+        record.oracle_checked = load.oracle_checked
+        record.trace_digest = load.trace_digest
+        if load.oracle_mismatches:
+            record.violations.append(
+                f"{load.oracle_mismatches} answers diverged from the "
+                "serial-order oracle (stale cache or silent corruption)"
+            )
+        record.violations.extend(
+            f"untyped failure escaped: {line}" for line in load.untyped_failures
+        )
+        pending = load.requests - (
+            load.ok + load.timeouts + load.cancelled + load.shed + load.errors
+        )
+        if pending:
+            record.violations.append(
+                f"{pending} requests neither completed nor failed typed"
+            )
+        report.records.append(record)
+        if max_seconds is not None and time.monotonic() - started >= max_seconds:
+            break
+    report.elapsed_s = time.monotonic() - started
+    return report

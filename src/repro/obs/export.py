@@ -32,12 +32,17 @@ from repro.obs.profile import QueryProfile
 #: for ordinary benchmarks; the injector's summary -- seed, rules, fire
 #: counts -- when a run was measured under faults), so a trajectory
 #: point can never silently mix faulty and fault-free measurements.
-BENCH_SCHEMA_VERSION = 3
+#: v4 adds an optional top-level ``serve`` block carrying the
+#: concurrent-serving harness's results (client/request counts, virtual
+#: latency percentiles, throughput, cache hit ratios, admission stats,
+#: and the scheduler's interleaving ``trace_digest`` -- the replay
+#: determinism witness CI compares across two runs of one seed).
+BENCH_SCHEMA_VERSION = 4
 
 #: Schema versions :func:`load_bench_json` accepts; old v1 artifacts
-#: (no provenance block) and v2 artifacts (no fault_injection entry)
-#: remain loadable and comparable.
-ACCEPTED_BENCH_SCHEMA_VERSIONS = (1, 2, 3)
+#: (no provenance block), v2 artifacts (no fault_injection entry), and
+#: v3 artifacts (no serve block) remain loadable and comparable.
+ACCEPTED_BENCH_SCHEMA_VERSIONS = (1, 2, 3, 4)
 
 #: File-name prefix of benchmark export artifacts.
 BENCH_PREFIX = "BENCH_"
@@ -181,8 +186,9 @@ def bench_payload(
     extra: dict | None = None,
     created_unix: float | None = None,
     provenance: dict | None = None,
+    serve: dict | None = None,
 ) -> dict:
-    """Build (and validate) one benchmark export payload (schema v3).
+    """Build (and validate) one benchmark export payload (schema v4).
 
     Args:
         name: Benchmark identifier (letters, digits, ``._-``).
@@ -195,6 +201,10 @@ def bench_payload(
         provenance: Override for the v2 provenance block (defaults to
             :func:`provenance_info` of the paper's configuration);
             injectable for deterministic tests.
+        serve: Optional v4 serving block (a
+            :meth:`repro.serve.bench.LoadReport.to_dict` payload); must
+            carry ``clients``, ``requests``, ``latency_ms``, and the
+            ``trace_digest`` replay witness.
     """
     payload = {
         "schema_version": BENCH_SCHEMA_VERSION,
@@ -215,6 +225,8 @@ def bench_payload(
         )
     if extra:
         payload["extra"] = dict(extra)
+    if serve is not None:
+        payload["serve"] = dict(serve)
     validate_bench_payload(payload)
     return payload
 
@@ -265,6 +277,20 @@ def validate_bench_payload(payload: object) -> dict:
             raise ValueError(f"BENCH metric {key!r} must be a number, got {value!r}")
     if "profile" in payload and not isinstance(payload["profile"], dict):
         raise ValueError("BENCH profile, when present, must be an object")
+    if "serve" in payload:
+        serve = payload["serve"]
+        if not isinstance(serve, dict):
+            raise ValueError("BENCH serve, when present, must be an object")
+        for field in ("clients", "requests", "latency_ms", "trace_digest"):
+            if field not in serve:
+                raise ValueError(f"BENCH serve block missing {field!r}")
+        if not isinstance(serve["latency_ms"], dict):
+            raise ValueError("BENCH serve latency_ms must be an object")
+        digest = serve["trace_digest"]
+        if not isinstance(digest, str) or not digest:
+            raise ValueError(
+                "BENCH serve trace_digest must be a non-empty string"
+            )
     return payload
 
 
@@ -280,10 +306,16 @@ def write_bench_json(
     profile: QueryProfile | dict | None = None,
     extra: dict | None = None,
     created_unix: float | None = None,
+    serve: dict | None = None,
 ) -> Path:
     """Write one validated ``BENCH_<name>.json``; returns its path."""
     payload = bench_payload(
-        name, metrics, profile=profile, extra=extra, created_unix=created_unix
+        name,
+        metrics,
+        profile=profile,
+        extra=extra,
+        created_unix=created_unix,
+        serve=serve,
     )
     path = bench_path(directory, name)
     path.parent.mkdir(parents=True, exist_ok=True)

@@ -1,0 +1,274 @@
+"""Admission control: memory grants before dispatch, not overflow mid-build.
+
+The paper's memory-size analysis (Section 4.5) prices each algorithm's
+hash-table footprint; under *concurrent* load those footprints contend
+for one :class:`~repro.storage.memory.MemoryPool` budget.  Without
+admission control, the failure mode is a
+:class:`~repro.errors.MemoryPoolError` in the middle of building a
+divisor table -- work already paid for, thrown away.  The controller
+moves that decision to the front door:
+
+* each query computes a **grant estimate** from the planner's existing
+  cardinality estimates (:func:`estimate_grant_bytes` prices the same
+  chain elements, bucket headers, and bit maps the operators charge the
+  pool for),
+* a grant is **reserved** against the pool budget before the query
+  dispatches; queries whose grants don't fit wait in a bounded FIFO
+  queue (fair, deterministic -- ticket order is submission order),
+* when the wait queue is full, the service **sheds load** with a typed
+  :class:`~repro.errors.ServiceOverloadError` at submit time --
+  backpressure, not mid-build failure,
+* grants are released in the task's ``finally`` block, so timeouts and
+  cancellations cannot leak reserved bytes (the chaos suite asserts
+  :attr:`AdmissionController.outstanding_bytes` drains to zero).
+
+Grants are *reservations in the controller's ledger*, not pool
+allocations: operators keep charging the pool exactly as before (the
+single-query path is untouched), and the controller merely guarantees
+the sum of concurrently admitted estimates respects the budget.
+Estimates can be wrong -- an underestimate may still overflow, which
+the plan layer's partitioned fallback absorbs, and that event is
+counted so the estimator can be judged.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Generator, Optional
+
+from repro.costmodel.advisor import DivisionEstimates
+from repro.errors import ServeError, ServiceOverloadError
+from repro.serve.scheduler import VirtualClock, Wait
+from repro.storage.memory import (
+    BUCKET_HEADER_BYTES,
+    CHAIN_ELEMENT_BYTES,
+    MemoryPool,
+)
+
+#: Bytes charged per quotient-candidate bit map, rounded up to whole
+#: bytes per divisor tuple bit (hash-division, Section 3.2).
+BITMAP_HEADER_BYTES = 16
+
+#: Safety factor over the raw footprint estimate: chain slack, the
+#: quotient table's load-factor headroom.
+GRANT_SAFETY_FACTOR = 1.25
+
+
+def estimate_grant_bytes(estimates: DivisionEstimates) -> int:
+    """Price one division's in-memory footprint from plan estimates.
+
+    Mirrors what the operators will charge the pool: a divisor table
+    (chain element + bucket header per divisor tuple), a quotient table
+    (chain element + bucket header per expected quotient candidate),
+    and one bit map of ``divisor_tuples`` bits per candidate.  The
+    aggregation strategies need strictly less (a counter instead of a
+    bit map), so one conservative formula serves every strategy.
+    """
+    divisor = max(0, estimates.divisor_tuples)
+    quotient = max(1, estimates.estimated_quotient)
+    bitmap_bytes = BITMAP_HEADER_BYTES + (divisor + 7) // 8
+    raw = (
+        divisor * (CHAIN_ELEMENT_BYTES + BUCKET_HEADER_BYTES)
+        + quotient * (CHAIN_ELEMENT_BYTES + BUCKET_HEADER_BYTES + bitmap_bytes)
+    )
+    return int(raw * GRANT_SAFETY_FACTOR) + 1
+
+
+@dataclass
+class MemoryGrant:
+    """A live admission reservation (release exactly once)."""
+
+    ticket_id: int
+    nbytes: int
+    tag: str
+    released: bool = False
+
+
+@dataclass
+class _Ticket:
+    ticket_id: int
+    nbytes: int
+    tag: str
+    enqueued_ms: float
+    granted: Optional[MemoryGrant] = None
+    abandoned: bool = False
+
+
+class AdmissionController:
+    """Grant ledger + bounded FIFO wait queue over one memory pool.
+
+    Args:
+        pool: The execution context's memory pool; its ``budget`` is
+            the grant capacity (``None`` = unbounded, every grant
+            admits immediately).
+        clock: The scheduler's virtual clock, for grant-wait latency.
+        max_waiters: Bound on the wait queue; one more waiter sheds.
+        metrics: Optional :class:`~repro.obs.metrics.MetricsRegistry`
+            receiving the ``repro_serve_admission_*`` families and the
+            ``repro_serve_grant_wait_ms`` histogram.
+    """
+
+    def __init__(
+        self,
+        pool: MemoryPool,
+        clock: VirtualClock,
+        max_waiters: int = 16,
+        metrics=None,
+    ) -> None:
+        if max_waiters < 0:
+            raise ServeError("max_waiters must be >= 0")
+        self.pool = pool
+        self.clock = clock
+        self.max_waiters = max_waiters
+        self.metrics = metrics
+        self.granted_bytes = 0
+        self.admitted_total = 0
+        self.shed_total = 0
+        self.waited_total = 0
+        self._queue: deque[_Ticket] = deque()
+        self._next_ticket = 0
+
+    # -- capacity ------------------------------------------------------
+
+    @property
+    def capacity_bytes(self) -> int | None:
+        """Grant capacity; ``None`` when the pool is unbounded."""
+        return self.pool.budget
+
+    @property
+    def outstanding_bytes(self) -> int:
+        """Bytes currently reserved by live grants."""
+        return self.granted_bytes
+
+    @property
+    def queue_depth(self) -> int:
+        """Tickets currently waiting for a grant."""
+        return sum(1 for t in self._queue if not t.abandoned)
+
+    def _fits(self, nbytes: int) -> bool:
+        capacity = self.capacity_bytes
+        return capacity is None or self.granted_bytes + nbytes <= capacity
+
+    def _clamp(self, nbytes: int) -> int:
+        """Cap a request at total capacity so oversized queries are
+        admitted (alone) and degrade via the partitioned fallback,
+        instead of waiting forever for a grant that can never fit."""
+        capacity = self.capacity_bytes
+        if capacity is not None and nbytes > capacity:
+            return capacity
+        return nbytes
+
+    # -- the request protocol ------------------------------------------
+
+    def enqueue(self, nbytes: int, tag: str = "query") -> _Ticket:
+        """Join the wait queue (possibly granted immediately on poll).
+
+        Raises:
+            ServiceOverloadError: When the queue is full -- the
+                load-shedding backpressure signal, raised *before* any
+                work is done on the request.
+        """
+        if nbytes < 0:
+            raise ServeError(f"grant bytes must be >= 0, got {nbytes}")
+        # A request that would be granted on its first poll is not a
+        # *waiter*; the bound applies to tickets that must actually wait
+        # (so max_waiters=0 means "admit or shed", never "shed all").
+        immediate = self.queue_depth == 0 and self._fits(self._clamp(nbytes))
+        if not immediate and self.queue_depth >= self.max_waiters:
+            self.shed_total += 1
+            if self.metrics is not None:
+                self.metrics.counter("repro_serve_admission_shed_total").inc()
+            raise ServiceOverloadError(
+                f"admission queue full ({self.max_waiters} waiters); "
+                f"request for {nbytes} bytes shed"
+            )
+        ticket = _Ticket(
+            ticket_id=self._next_ticket,
+            nbytes=self._clamp(nbytes),
+            tag=tag,
+            enqueued_ms=self.clock.now_ms,
+        )
+        self._next_ticket += 1
+        self._queue.append(ticket)
+        return ticket
+
+    def poll(self, ticket: _Ticket) -> MemoryGrant | None:
+        """Try to convert a ticket into a grant; FIFO-fair.
+
+        A ticket is granted only when every ticket ahead of it has been
+        granted or abandoned (no overtaking -- small queries cannot
+        starve a large one) *and* its bytes fit the remaining capacity.
+        """
+        if ticket.granted is not None:
+            return ticket.granted
+        self._drop_abandoned()
+        if not self._queue or self._queue[0] is not ticket:
+            return None
+        if not self._fits(ticket.nbytes):
+            return None
+        self._queue.popleft()
+        grant = MemoryGrant(ticket.ticket_id, ticket.nbytes, ticket.tag)
+        ticket.granted = grant
+        self.granted_bytes += grant.nbytes
+        self.admitted_total += 1
+        wait_ms = self.clock.now_ms - ticket.enqueued_ms
+        if wait_ms > 0:
+            self.waited_total += 1
+        if self.metrics is not None:
+            self.metrics.counter("repro_serve_admission_admitted_total").inc()
+            self.metrics.histogram("repro_serve_grant_wait_ms").observe(wait_ms)
+            self.metrics.gauge("repro_serve_granted_bytes").set(self.granted_bytes)
+        return grant
+
+    def abandon(self, ticket: _Ticket) -> None:
+        """Withdraw a waiting ticket (timeout/cancel before grant)."""
+        if ticket.granted is None:
+            ticket.abandoned = True
+            self._drop_abandoned()
+
+    def release(self, grant: MemoryGrant) -> None:
+        """Return a grant's bytes to the ledger (idempotent)."""
+        if grant.released:
+            return
+        grant.released = True
+        self.granted_bytes -= grant.nbytes
+        if self.granted_bytes < 0:  # pragma: no cover - defensive
+            raise ServeError("grant ledger went negative")
+        if self.metrics is not None:
+            self.metrics.gauge("repro_serve_granted_bytes").set(self.granted_bytes)
+
+    def _drop_abandoned(self) -> None:
+        while self._queue and self._queue[0].abandoned:
+            self._queue.popleft()
+
+    # -- task-side helper ----------------------------------------------
+
+    def wait_for_grant(
+        self, nbytes: int, tag: str = "query"
+    ) -> Generator[Wait, None, MemoryGrant]:
+        """Task-side protocol: ``grant = yield from ctrl.wait_for_grant(n)``.
+
+        Parks the calling task (via :class:`~repro.serve.scheduler.Wait`)
+        until the ticket reaches the queue head and fits.  If a timeout
+        or cancellation is thrown in while parked, the ticket is
+        abandoned before the error propagates -- the queue cannot jam
+        on dead waiters.
+        """
+        ticket = self.enqueue(nbytes, tag)
+        try:
+            while True:
+                grant = self.poll(ticket)
+                if grant is not None:
+                    return grant
+                yield Wait(
+                    "grant",
+                    lambda: (
+                        bool(self._queue)
+                        and self._queue[0] is ticket
+                        and self._fits(ticket.nbytes)
+                    ),
+                )
+        except BaseException:
+            self.abandon(ticket)
+            raise

@@ -9,7 +9,7 @@ heap file with the schema (codec) that interprets its records.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterator
+from typing import Iterable, Iterator
 
 from repro.errors import StorageError
 from repro.relalg.relation import Relation
@@ -22,12 +22,28 @@ from repro.storage.heapfile import HeapFile, RecordId
 
 @dataclass
 class StoredRelation:
-    """A heap file plus the schema of its records."""
+    """A heap file plus the schema of its records.
+
+    ``version`` is a **monotonic write counter**: it starts at 0 when
+    the relation is created and is bumped by every catalog-mediated
+    write (the initial bulk load, :meth:`Catalog.insert_rows`,
+    :meth:`Catalog.delete_rows`).  The serve layer's result cache keys
+    cached quotients by the versions of every input relation, so a
+    cached answer can *only* be returned while the inputs are
+    byte-for-byte the relations it was computed from -- staleness is
+    impossible by construction, no invalidation walk required.
+    """
 
     name: str
     schema: Schema
     file: HeapFile
     codec: RecordCodec
+    version: int = 0
+
+    def bump_version(self) -> int:
+        """Advance the write counter; returns the new version."""
+        self.version += 1
+        return self.version
 
     @property
     def record_count(self) -> int:
@@ -108,10 +124,67 @@ class Catalog:
         stored = self.create(stored_name, relation.schema)
         encode = stored.codec.encode
         stored.file.append_many(encode(row) for row in relation)
+        stored.bump_version()
         if cold:
             self.pool.flush_device(self.disk.name)
             self.pool.drop_device_pages(self.disk.name)
         return stored
+
+    # -- versioned writes ----------------------------------------------
+
+    def version(self, name: str) -> int:
+        """The monotonic write-counter of one stored relation."""
+        return self.get(name).version
+
+    def versions_of(self, names: Iterable[str]) -> tuple[tuple[str, int], ...]:
+        """``((name, version), ...)`` sorted by name -- the snapshot
+        component of a result-cache key."""
+        return tuple(sorted((name, self.get(name).version) for name in set(names)))
+
+    def insert_rows(self, name: str, rows: Iterable[Row]) -> int:
+        """Append tuples to a stored relation; bumps its version.
+
+        Returns the new version.  This (with :meth:`delete_rows`) is
+        the *versioned* write path: writes that bypass the catalog and
+        mutate the heap file directly do not participate in the serve
+        layer's cache-invalidation contract.
+
+        The version is bumped **even when the write fails** (a device
+        fault mid-append may have applied a prefix of the rows): a
+        failed write must still invalidate cached results, because the
+        stored bytes may have changed.  A spurious bump only costs a
+        cache miss; a missed bump would serve a stale quotient.
+        """
+        stored = self.get(name)
+        encode = stored.codec.encode
+        try:
+            stored.file.append_many(encode(row) for row in rows)
+        finally:
+            stored.bump_version()
+        return stored.version
+
+    def delete_rows(self, name: str, keep) -> tuple[int, int]:
+        """Delete every record whose decoded row fails ``keep(row)``.
+
+        Returns ``(deleted_count, new_version)``.  The version is
+        bumped even when nothing matched: the *write happened*, and a
+        spurious bump only costs a cache miss -- the invariant
+        ``same versions => same contents`` must never depend on
+        predicate reasoning.
+        """
+        stored = self.get(name)
+        deleted = 0
+        try:
+            victims = [
+                rid for rid, row in stored.scan_rows() if not keep(row)
+            ]
+            for rid in victims:
+                stored.file.delete(rid)
+                deleted += 1
+        finally:
+            # Bump even on a failed/partial delete: see insert_rows.
+            stored.bump_version()
+        return deleted, stored.version
 
     def drop(self, name: str) -> None:
         """Delete a stored relation and free its pages."""

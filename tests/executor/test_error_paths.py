@@ -187,9 +187,11 @@ class TestDivisionOperators:
 class TestFailedOpenUnderInjectedFaults:
     """Failed opens under *real device faults*, not synthetic Booms.
 
-    A failed ``open()`` leaves the operator CLOSED, ``close()`` refuses
-    to run, and ``_close`` is never reached -- so spool and run files
-    written before the fault must be reclaimed by ``_open`` itself.
+    A failed ``open()`` leaves the operator CLOSED and ``close()`` is a
+    silent no-op (the serving layer's unwind paths call it
+    unconditionally), and ``_close`` is never reached -- so spool and
+    run files written before the fault must be reclaimed by ``_open``
+    itself.
     These tests inject permanent write faults on the temp and run
     devices (tiny pages + a tiny buffer pool force eviction write-back
     during the append) and assert the device ends with zero live pages.
@@ -216,7 +218,7 @@ class TestFailedOpenUnderInjectedFaults:
         return ctx
 
     def test_materialize_failed_spool_destroys_temp_file(self):
-        from repro.errors import DiskFaultError, ExecutionError
+        from repro.errors import DiskFaultError
         from repro.executor.materialize import Materialize
 
         ctx = self._faulted_ctx("temp")
@@ -224,10 +226,9 @@ class TestFailedOpenUnderInjectedFaults:
         spool = Materialize(RelationSource(ctx, ints(("a", "b"), rows)))
         with pytest.raises(DiskFaultError):
             spool.open()
-        # The state machine stayed CLOSED: close() is a usage error,
-        # not the cleanup path ...
-        with pytest.raises(ExecutionError):
-            spool.close()
+        # The state machine stayed CLOSED: close() is an idempotent
+        # no-op after the failed attempt, not the cleanup path ...
+        spool.close()
         # ... so _open itself must have reclaimed the partial spool.
         assert spool._file is None
         assert ctx.temp_disk.page_count == 0
@@ -235,7 +236,7 @@ class TestFailedOpenUnderInjectedFaults:
         ctx.close()
 
     def test_sort_failed_spill_destroys_partial_runs(self):
-        from repro.errors import DiskFaultError, ExecutionError
+        from repro.errors import DiskFaultError
 
         ctx = self._faulted_ctx("runs")
         capacity = ctx.config.sort_run_capacity_records(
@@ -247,8 +248,7 @@ class TestFailedOpenUnderInjectedFaults:
         )
         with pytest.raises(DiskFaultError):
             sort.open()
-        with pytest.raises(ExecutionError):
-            sort.close()
+        sort.close()  # idempotent no-op after the failed attempt
         assert sort._runs == []
         assert ctx.run_disk.page_count == 0
         assert ctx.pool.fixed_page_count() == 0

@@ -1,0 +1,56 @@
+"""The chaos ``serve`` scenario: faulted concurrent serving stays sane.
+
+Invariant per round: every request either answers with the serial-order
+oracle's rows or fails with a typed :class:`~repro.errors.ReproError`
+(timeout / shed / storage fault), and after the drain no grants, locks,
+frames, or pool bytes are leaked.
+"""
+
+from repro.faults.chaos import (
+    CHAOS_SCENARIOS,
+    run_serve_campaign,
+)
+
+
+def test_serve_is_a_registered_scenario():
+    assert "serve" in CHAOS_SCENARIOS
+
+
+def test_campaign_upholds_the_invariant():
+    report = run_serve_campaign(seed=2026, rounds=4)
+    assert report.ok, report.violations()
+    assert sum(r.requests for r in report.records) > 0
+    # At least one round actually injected something (default rules
+    # draw 1-3 programmes per round; across 4 rounds one fires).
+    assert any(r.rules for r in report.records)
+
+
+def test_campaign_is_deterministic_modulo_wall_clock():
+    a = run_serve_campaign(seed=99, rounds=3)
+    b = run_serve_campaign(seed=99, rounds=3)
+    da, db = a.to_dict(), b.to_dict()
+    da.pop("elapsed_s")
+    db.pop("elapsed_s")
+    assert da == db
+    assert [r.trace_digest for r in a.records] == [
+        r.trace_digest for r in b.records
+    ]
+
+
+def test_max_seconds_only_truncates():
+    full = run_serve_campaign(seed=7, rounds=3)
+    capped = run_serve_campaign(seed=7, rounds=3, max_seconds=0.0)
+    assert len(capped.records) == 1  # always runs at least one round
+    assert capped.records[0].to_dict() == full.records[0].to_dict()
+
+
+def test_tight_budget_rounds_shed_or_degrade_typed():
+    report = run_serve_campaign(seed=5, rounds=3, memory_budget=4096)
+    assert report.ok, report.violations()
+
+
+def test_summary_line_mentions_the_verdict():
+    report = run_serve_campaign(seed=3, rounds=2)
+    line = report.summary_line()
+    assert "serve chaos seed 3" in line
+    assert ("OK" in line) or ("VIOLATED" in line)

@@ -161,11 +161,66 @@ class TestBenchExport:
         assert module.RESULTS_DIR.name == "results"
 
 
+class TestServeBlock:
+    """Schema v4: the optional top-level ``serve`` block."""
+
+    @staticmethod
+    def serve_block(**overrides):
+        block = {
+            "clients": 2,
+            "requests": 4,
+            "latency_ms": {"p50": 1.0, "p95": 2.0, "p99": 2.0},
+            "trace_digest": "ab" * 32,
+        }
+        block.update(overrides)
+        return block
+
+    def test_serve_block_round_trips(self, tmp_path):
+        path = write_bench_json(
+            tmp_path, "with_serve", {"ms": 1.0}, serve=self.serve_block()
+        )
+        payload = load_bench_json(path)
+        assert payload["schema_version"] == 4
+        assert payload["serve"]["clients"] == 2
+
+    def test_payload_without_serve_block_is_still_valid(self):
+        payload = make_bench_payload("plain", {"ms": 1.0}, created_unix=0.0)
+        assert "serve" not in payload
+        validate_bench_payload(payload)
+
+    @pytest.mark.parametrize(
+        "bad, message",
+        [
+            ("not a dict", "serve"),
+            ({"clients": 2}, "serve"),  # missing required keys
+            ({"clients": 2, "requests": 4, "latency_ms": "fast",
+              "trace_digest": "x" * 64}, "latency_ms"),
+            ({"clients": 2, "requests": 4, "latency_ms": {},
+              "trace_digest": ""}, "trace_digest"),
+        ],
+    )
+    def test_malformed_serve_block_rejected(self, bad, message):
+        payload = make_bench_payload("badserve", {"ms": 1.0}, created_unix=0.0)
+        payload["serve"] = bad
+        with pytest.raises(ValueError, match=message):
+            validate_bench_payload(payload)
+
+    def test_v3_payload_without_serve_still_loads(self, tmp_path):
+        """Trajectory back-compat: v3 artifacts predate serving."""
+        legacy = make_bench_payload("v3legacy", {"ms": 2.0}, created_unix=0.0)
+        legacy["schema_version"] = 3
+        path = tmp_path / "BENCH_v3legacy.json"
+        path.write_text(json.dumps(legacy))
+        payload = load_bench_json(path)
+        assert payload["schema_version"] == 3
+        assert "serve" not in payload
+
+
 class TestProvenance:
     def test_payloads_carry_a_provenance_block(self):
         payload = make_bench_payload("prov", {"ms": 1.0}, created_unix=0.0)
         provenance = payload["provenance"]
-        assert payload["schema_version"] == 3
+        assert payload["schema_version"] == 4
         assert provenance["page_size"] == 8 * 1024
         assert provenance["sort_run_page_size"] == 1 * 1024
         assert provenance["buffer_size"] == 256 * 1024

@@ -1,0 +1,152 @@
+"""Admission control: grants, FIFO fairness, shedding, clamping."""
+
+import pytest
+
+from repro.costmodel.advisor import DivisionEstimates
+from repro.errors import ServeError, ServiceOverloadError
+from repro.serve.admission import (
+    AdmissionController,
+    estimate_grant_bytes,
+)
+from repro.serve.scheduler import VirtualClock
+from repro.storage.memory import MemoryPool
+
+
+def make_controller(budget=None, max_waiters=16, clock=None, metrics=None):
+    return AdmissionController(
+        MemoryPool(budget=budget),
+        clock or VirtualClock(),
+        max_waiters=max_waiters,
+        metrics=metrics,
+    )
+
+
+def estimates(divisor=10, quotient=20):
+    return DivisionEstimates(
+        dividend_tuples=divisor * quotient,
+        divisor_tuples=divisor,
+        quotient_tuples=quotient,
+    )
+
+
+class TestEstimate:
+    def test_positive_and_monotonic(self):
+        small = estimate_grant_bytes(estimates(4, 8))
+        large = estimate_grant_bytes(estimates(40, 80))
+        assert 0 < small < large
+
+    def test_prices_the_bitmap_per_candidate(self):
+        narrow = estimate_grant_bytes(estimates(8, 10))
+        wide = estimate_grant_bytes(estimates(800, 10))
+        # 100x more divisor tuples => much bigger bit maps.
+        assert wide > narrow * 5
+
+
+class TestGrants:
+    def test_immediate_grant_when_it_fits(self):
+        ctrl = make_controller(budget=1000)
+        ticket = ctrl.enqueue(400)
+        grant = ctrl.poll(ticket)
+        assert grant is not None
+        assert ctrl.outstanding_bytes == 400
+
+    def test_release_is_idempotent(self):
+        ctrl = make_controller(budget=1000)
+        grant = ctrl.poll(ctrl.enqueue(400))
+        ctrl.release(grant)
+        ctrl.release(grant)
+        assert ctrl.outstanding_bytes == 0
+
+    def test_unbounded_pool_admits_everything(self):
+        ctrl = make_controller(budget=None)
+        for _ in range(5):
+            assert ctrl.poll(ctrl.enqueue(10**9)) is not None
+
+    def test_fifo_no_overtaking(self):
+        """A small later request cannot jump a large earlier one."""
+        ctrl = make_controller(budget=1000)
+        first = ctrl.poll(ctrl.enqueue(800))
+        big = ctrl.enqueue(600)  # cannot fit yet
+        small = ctrl.enqueue(100)  # would fit, but queued behind big
+        assert ctrl.poll(big) is None
+        assert ctrl.poll(small) is None  # no overtaking
+        ctrl.release(first)
+        assert ctrl.poll(small) is None  # still behind big
+        granted_big = ctrl.poll(big)
+        assert granted_big is not None
+        ctrl.release(granted_big)
+        assert ctrl.poll(small) is not None
+
+    def test_oversized_request_is_clamped_to_capacity(self):
+        """A query bigger than the whole budget admits (alone) instead
+        of waiting forever; execution degrades via the partitioned
+        fallback."""
+        ctrl = make_controller(budget=1000)
+        ticket = ctrl.enqueue(5000)
+        grant = ctrl.poll(ticket)
+        assert grant is not None
+        assert grant.nbytes == 1000
+
+    def test_abandon_unblocks_the_queue(self):
+        ctrl = make_controller(budget=1000)
+        head = ctrl.poll(ctrl.enqueue(900))
+        blocked = ctrl.enqueue(900)
+        behind = ctrl.enqueue(50)
+        ctrl.abandon(blocked)
+        assert ctrl.poll(behind) is not None
+        ctrl.release(head)
+
+
+class TestShedding:
+    def test_full_queue_sheds_with_typed_error(self):
+        ctrl = make_controller(budget=100, max_waiters=1)
+        ctrl.poll(ctrl.enqueue(100))  # consumes the budget
+        ctrl.enqueue(100)  # the one allowed waiter
+        with pytest.raises(ServiceOverloadError):
+            ctrl.enqueue(100)
+        assert ctrl.shed_total == 1
+
+    def test_zero_waiters_means_admit_or_shed(self):
+        ctrl = make_controller(budget=100, max_waiters=0)
+        grant = ctrl.poll(ctrl.enqueue(60))  # fits: admitted, not shed
+        assert grant is not None
+        with pytest.raises(ServiceOverloadError):
+            ctrl.enqueue(60)  # would have to wait: shed
+
+    def test_negative_bytes_rejected(self):
+        with pytest.raises(ServeError):
+            make_controller().enqueue(-1)
+
+    def test_negative_max_waiters_rejected(self):
+        with pytest.raises(ServeError):
+            make_controller(max_waiters=-1)
+
+
+class TestWaitForGrantProtocol:
+    def test_parks_then_grants_when_capacity_frees(self):
+        clock = VirtualClock()
+        ctrl = make_controller(budget=1000, clock=clock)
+        held = ctrl.poll(ctrl.enqueue(900))
+        gen = ctrl.wait_for_grant(500)
+        wait = next(gen)  # parks: 500 does not fit beside 900
+        assert wait.reason == "grant"
+        assert not wait.ready()
+        clock.advance(3.0)
+        ctrl.release(held)
+        assert wait.ready()
+        with pytest.raises(StopIteration) as stop:
+            gen.send(None)
+        grant = stop.value.value
+        assert grant.nbytes == 500
+        assert ctrl.waited_total == 1
+
+    def test_thrown_error_abandons_the_ticket(self):
+        ctrl = make_controller(budget=100)
+        held = ctrl.poll(ctrl.enqueue(100))
+        gen = ctrl.wait_for_grant(100)
+        next(gen)  # parked
+        assert ctrl.queue_depth == 1
+        with pytest.raises(RuntimeError):
+            gen.throw(RuntimeError("cancelled from outside"))
+        assert ctrl.queue_depth == 0  # the queue cannot jam on the dead waiter
+        ctrl.release(held)

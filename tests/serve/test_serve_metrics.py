@@ -1,0 +1,112 @@
+"""Satellite: the ``repro_serve_*`` metric families and their export.
+
+Asserts that one mixed service run populates every serve counter the
+dashboards scrape, and that :func:`repro.obs.export.render_prometheus`
+emits the grant-wait and latency histograms with bucket lines.
+"""
+
+from repro.obs.export import render_prometheus
+from repro.serve.service import InsertRequest, QueryRequest
+
+from tests.serve.test_service import make_service
+
+
+def run_mixed_service():
+    service, _ = make_service(track_oracle=True)
+    divisor_value = service.catalog.get("courses").to_relation().rows[0][0]
+    service.submit_script(
+        "w",
+        [
+            QueryRequest("enrollment", "courses"),
+            QueryRequest("enrollment", "courses"),  # result-cache hit
+            InsertRequest("enrollment", ((777_777, divisor_value),)),
+            QueryRequest("enrollment", "courses"),  # invalidated: miss
+        ],
+    )
+    service.run()
+    return service
+
+
+class TestCounters:
+    def test_requests_counted_by_kind(self):
+        service = run_mixed_service()
+        reg = service.metrics
+        assert reg.counter("repro_serve_requests_total", kind="query").value == 3
+        assert reg.counter("repro_serve_requests_total", kind="insert").value == 1
+
+    def test_outcomes_counted_by_kind_and_outcome(self):
+        service = run_mixed_service()
+        ok_queries = service.metrics.counter(
+            "repro_serve_request_outcomes_total", kind="query", outcome="ok"
+        )
+        assert ok_queries.value == 3
+
+    def test_cache_families_follow_the_script(self):
+        service = run_mixed_service()
+        reg = service.metrics
+        assert reg.counter("repro_serve_result_cache_hits_total").value == 1
+        assert reg.counter("repro_serve_result_cache_misses_total").value == 2
+        assert (
+            reg.counter("repro_serve_result_cache_invalidations_total").value == 1
+        )
+        # Plan decisions embed cardinality estimates, so they are
+        # version-guarded too: the cached-result hit never consults the
+        # plan cache, and the post-insert query invalidates the entry.
+        assert reg.counter("repro_serve_plan_cache_hits_total").value == 0
+        assert reg.counter("repro_serve_plan_cache_misses_total").value == 2
+        assert (
+            reg.counter("repro_serve_plan_cache_invalidations_total").value == 1
+        )
+
+    def test_plan_cache_hits_when_results_are_uncached(self):
+        service, _ = make_service(result_cache=False)
+        service.submit_script(
+            "c",
+            [
+                QueryRequest("enrollment", "courses"),
+                QueryRequest("enrollment", "courses"),
+            ],
+        )
+        service.run()
+        reg = service.metrics
+        assert reg.counter("repro_serve_plan_cache_hits_total").value == 1
+        assert reg.counter("repro_serve_plan_cache_misses_total").value == 1
+
+    def test_admission_admits_and_tracks_grants(self):
+        service = run_mixed_service()
+        reg = service.metrics
+        # Cached results skip the grant; the two executions admit.
+        assert reg.counter("repro_serve_admission_admitted_total").value == 2
+        assert reg.gauge("repro_serve_granted_bytes").value == 0  # drained
+
+    def test_oracle_mismatches_stay_zero(self):
+        service = run_mixed_service()
+        assert (
+            service.metrics.counter("repro_serve_oracle_mismatches_total").value
+            == 0
+        )
+
+
+class TestPrometheusExport:
+    def test_serve_families_render_with_histogram_buckets(self):
+        service = run_mixed_service()
+        text = render_prometheus(service.metrics)
+        assert 'repro_serve_requests_total{kind="query"} 3' in text
+        assert "repro_serve_grant_wait_ms_bucket" in text
+        assert "repro_serve_grant_wait_ms_count" in text
+        assert 'repro_serve_latency_ms_bucket{kind="query"' in text
+        assert "repro_serve_result_cache_hits_total 1" in text
+
+    def test_shed_counter_appears_under_overload(self):
+        service, _ = make_service(
+            memory_budget=4096, max_waiters=0, divisor=8, quotient=64,
+            result_cache=False, plan_cache=False,
+        )
+        for c in range(3):
+            service.submit_query("enrollment", "courses", client=f"c{c}")
+        service.run()
+        text = render_prometheus(service.metrics)
+        assert "repro_serve_admission_shed_total" in text
+        assert service.metrics.counter(
+            "repro_serve_admission_shed_total"
+        ).value >= 1

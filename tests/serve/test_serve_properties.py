@@ -1,0 +1,74 @@
+"""Hypothesis properties: caching is invisible, scheduling is replayable.
+
+The serving layer's core obligations, stated as properties over random
+workload shapes:
+
+* **Transparency**: for any drawn workload, running with caches on and
+  with caches off both answer every query with the serial-order
+  algebraic oracle's rows (``track_oracle`` recomputes the shadow
+  oracle at each lock grant, so this holds across interleaved writes).
+  Caches may change *when* work happens, never *what* is answered.
+* **Typedness**: no drawn workload ever surfaces a
+  non-:class:`~repro.errors.ReproError` failure from a session.
+* **Determinism**: one seed, one interleaving -- the trace digest and
+  the whole report are replay-stable.
+"""
+
+from dataclasses import replace
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.serve.bench import LoadConfig, run_load
+
+PROPERTY_SETTINGS = settings(
+    max_examples=20,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+workloads = st.builds(
+    LoadConfig,
+    clients=st.integers(min_value=1, max_value=3),
+    requests_per_client=st.integers(min_value=1, max_value=4),
+    seed=st.integers(min_value=0, max_value=2**16 - 1),
+    skew=st.floats(min_value=0.0, max_value=2.0, allow_nan=False),
+    table_pairs=st.integers(min_value=1, max_value=3),
+    divisor_tuples=st.integers(min_value=1, max_value=4),
+    quotient_tuples=st.integers(min_value=2, max_value=10),
+    update_fraction=st.sampled_from([0.0, 0.25, 0.5]),
+    memory_budget=st.sampled_from([None, 1 << 20, 8192]),
+    track_oracle=st.just(True),
+)
+
+
+def assert_clean(report, label):
+    assert report.untyped_failures == [], (
+        f"{label}: untyped failures {report.untyped_failures}"
+    )
+    assert report.oracle_mismatches == 0, (
+        f"{label}: {report.oracle_mismatches} oracle mismatches"
+    )
+    assert report.oracle_checked == report.queries_ok
+
+
+class TestCacheTransparency:
+    @PROPERTY_SETTINGS
+    @given(config=workloads)
+    def test_cache_on_and_off_both_match_the_oracle(self, config):
+        on = run_load(replace(config, result_cache=True, plan_cache=True))
+        off = run_load(replace(config, result_cache=False, plan_cache=False))
+        assert_clean(on, "caches on")
+        assert_clean(off, "caches off")
+        # Identical workload shape: the *set* of requests answered OK
+        # can differ only through admission shedding, which the
+        # unbounded-by-default waiter queue rules out here.
+        assert on.requests == off.requests
+
+    @PROPERTY_SETTINGS
+    @given(config=workloads)
+    def test_one_seed_one_interleaving(self, config):
+        a = run_load(config)
+        b = run_load(config)
+        assert a.trace_digest == b.trace_digest
+        assert a.to_dict() == b.to_dict()

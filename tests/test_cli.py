@@ -97,7 +97,7 @@ class TestVersionAndHelp:
         "command",
         [
             "figure2", "trace", "table1", "table2", "table3", "table4",
-            "profile", "advisor", "parallel", "explain",
+            "profile", "advisor", "parallel", "explain", "chaos", "serve",
         ],
     )
     def test_every_subcommand_has_help(self, command, capsys):
@@ -356,3 +356,89 @@ class TestTraceSubcommands:
 
         events = read_jsonl(str(out_file))
         assert events and events[0].device
+
+
+class TestServeCommand:
+    """`repro serve`: the load harness behind one flag surface."""
+
+    SMALL = [
+        "serve", "--clients", "2", "--requests", "2",
+        "--tables", "2", "--divisor", "3", "--quotient", "6",
+    ]
+
+    def test_summary_output(self, capsys):
+        assert main(self.SMALL) == 0
+        out = capsys.readouterr().out
+        assert "serve seed 0" in out
+        assert "digest" in out
+
+    def test_json_output_carries_the_replay_witness(self, capsys):
+        import json as json_mod
+
+        assert main(self.SMALL + ["--json"]) == 0
+        payload = json_mod.loads(capsys.readouterr().out)
+        assert payload["requests"] == 4
+        assert len(payload["trace_digest"]) == 64
+        assert payload["untyped_failures"] == []
+
+    def test_replay_check_passes(self, capsys):
+        assert main(self.SMALL + ["--replay-check"]) == 0
+        assert "replay check ok" in capsys.readouterr().err
+
+    def test_compare_reports_the_speedup(self, capsys):
+        assert (
+            main(
+                [
+                    "serve", "--clients", "3", "--requests", "6",
+                    "--tables", "2", "--divisor", "3", "--quotient", "8",
+                    "--skew", "1.2", "--compare",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "result-cache speedup" in out
+
+    def test_faulted_smoke_run_exits_clean(self, capsys, tmp_path):
+        assert (
+            main(
+                self.SMALL
+                + [
+                    "--tiny-pages", "--faults", "--fault-seed", "3",
+                    "--bench-out", str(tmp_path), "--bench-name", "smoke",
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        from repro.obs.export import load_bench_json
+
+        payload = load_bench_json(tmp_path / "BENCH_smoke.json")
+        assert payload["schema_version"] == 4
+        assert payload["serve"]["untyped_failures"] == []
+
+    def test_global_seed_overrides_subcommand_default(self, capsys):
+        import json as json_mod
+
+        assert main(["--seed", "9"] + self.SMALL + ["--json"]) == 0
+        payload = json_mod.loads(capsys.readouterr().out)
+        assert payload["seed"] == 9
+
+
+class TestChaosServeScenario:
+    def test_serve_scenario_runs_clean(self, capsys):
+        assert main(["chaos", "--scenario", "serve", "--rounds", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "serve chaos" in out
+        assert "OK" in out
+
+    def test_serve_scenario_json(self, capsys):
+        import json as json_mod
+
+        assert (
+            main(["chaos", "--scenario", "serve", "--rounds", "2", "--json"])
+            == 0
+        )
+        payload = json_mod.loads(capsys.readouterr().out)
+        assert payload["scenario"] == "serve"
+        assert payload["ok"] is True
